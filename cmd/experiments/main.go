@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper-claim tables (see DESIGN.md
+// §3 for the experiment index).
+//
+// Usage:
+//
+//	experiments            # run everything, in order
+//	experiments -run E3,E4 # run a subset
+//	experiments -list      # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"physdep/internal/experiments"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	order := experiments.Order()
+
+	if *list {
+		for _, id := range order {
+			res, err := all[id]()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: error: %v\n", id, err)
+				continue
+			}
+			fmt.Printf("%-4s %s\n", id, res.Title)
+		}
+		return
+	}
+
+	ids := order
+	if *runList != "" {
+		ids = nil
+		for _, id := range strings.Split(*runList, ",") {
+			id = strings.TrimSpace(strings.ToUpper(id))
+			if _, ok := all[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+	failed := 0
+	for _, id := range ids {
+		res, err := all[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Println(res.Render())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+// Command physdep evaluates the physical deployability of one topology:
+// it generates the fabric, places it into a hall, plans every cable,
+// prices the build, schedules a technician crew, and checks the digital
+// twin — then prints the §5.4-style scorecard.
+//
+// Usage:
+//
+//	physdep -topo fattree -k 8
+//	physdep -topo jellyfish -n 64 -radix 16 -net 8 -rows 6 -slots 16
+//	physdep -topo xpander -d 8 -lift 6
+//	physdep -topo leafspine -n 32 -spines 8
+//	physdep -topo fatclique -d 4 -lift 4 -k 4
+//	physdep -topo slimfly -q 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"physdep/internal/cli"
+	"physdep/internal/core"
+	"physdep/internal/floorplan"
+	"physdep/internal/units"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "fattree", "fattree|leafspine|jellyfish|xpander|flatbutterfly|fatclique|slimfly|vl2")
+		k        = flag.Int("k", 8, "fat-tree K / fatclique Kf / butterfly dims")
+		n        = flag.Int("n", 64, "jellyfish N / leaf count")
+		radix    = flag.Int("radix", 16, "switch radix")
+		net      = flag.Int("net", 8, "network ports per ToR (jellyfish R)")
+		d        = flag.Int("d", 8, "xpander D / fatclique Ks / slimfly q")
+		lift     = flag.Int("lift", 6, "xpander lift / fatclique Kb")
+		q        = flag.Int("q", 5, "slim fly q (prime ≡ 1 mod 4)")
+		spines   = flag.Int("spines", 8, "leaf-spine spine count")
+		rate     = flag.Float64("rate", 100, "line rate Gbps")
+		rows     = flag.Int("rows", 6, "hall rows")
+		slots    = flag.Int("slots", 16, "rack slots per row")
+		techs    = flag.Int("techs", 8, "deployment crew size")
+		anneal   = flag.Int("anneal", 0, "placement annealing steps (0 = greedy only)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	tp, err := cli.BuildTopology(cli.TopoParams{
+		Name: *topoName, K: *k, N: *n, Radix: *radix, Net: *net, D: *d,
+		Lift: *lift, Q: *q, Spines: *spines, Rate: units.Gbps(*rate), Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	in := core.DefaultInput(tp, floorplan.DefaultHall(*rows, *slots))
+	in.Techs = *techs
+	in.PlacementSteps = *anneal
+	in.Seed = *seed
+	rep, err := core.Evaluate(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	printReport(rep)
+}
+
+func printReport(r *core.Report) {
+	fmt.Printf("physical deployability report: %s\n\n", r.Name)
+	fmt.Println("abstract network metrics (what papers report):")
+	fmt.Printf("  switches %d, links %d, servers %d\n",
+		r.Abstract.Switches, r.Abstract.Links, r.Abstract.Servers)
+	fmt.Printf("  ToR diameter %d, mean hops %.2f, spectral gap %.3f, bisection %.0f Gbps\n\n",
+		r.Abstract.ToRDiameter, r.Abstract.ToRMeanHops, r.Abstract.SpectralGap, r.Abstract.BisectionGb)
+	fmt.Println("physical build (what this paper says to also report):")
+	fmt.Printf("  cables: %d (%.0f m total, %.0f m max run, %.0f%% optical)\n",
+		r.Cabling.Cables, float64(r.Cabling.TotalLength), float64(r.Cabling.MaxLength),
+		100*r.Cabling.OpticalFrac)
+	fmt.Printf("  bundleability: %.0f%% of cables in ≥4-cable prebuilt bundles\n", 100*r.Bundleability)
+	fmt.Printf("  capex: $%.0f switches + $%.0f cabling = $%.0f\n",
+		float64(r.SwitchCapex), float64(r.CableCapex), float64(r.TotalCapex))
+	fmt.Printf("  tray peak utilization: %.0f%%\n\n", 100*r.TrayPeakUtil)
+	fmt.Println("deployment execution:")
+	fmt.Printf("  time to deploy: %.1f h wall-clock; labor $%.0f (%.0f%% walking)\n",
+		float64(r.TimeToDeploy), float64(r.LaborCost), 100*r.WalkFraction)
+	fmt.Printf("  first-pass yield: %.1f%% (%d reworks)\n", 100*r.FirstPassYield, r.Reworks)
+	fmt.Printf("  stranded server capital during deploy: $%.0f\n\n", float64(r.StrandedCost))
+	fmt.Println("digital-twin verdict:")
+	fmt.Printf("  violations: %d; out-of-envelope: %v\n", r.TwinViolations, r.OutOfEnvelope)
+	fmt.Printf("  diversity absorbed: %d line rates, %d radixes\n", r.DiversityRates, r.DiversityRadixs)
+}

@@ -1,0 +1,70 @@
+// Command topogen generates a topology and prints its graph-theoretic
+// profile — the abstract side of the deployability tradeoff, on its own
+// for quick comparisons.
+//
+// Usage:
+//
+//	topogen -topo jellyfish -n 128 -radix 16 -net 8
+//	topogen -topo fattree -k 16
+//	topogen -topo slimfly -q 13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+
+	"physdep/internal/cli"
+	"physdep/internal/trafficsim"
+	"physdep/internal/units"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "fattree", "fattree|leafspine|jellyfish|xpander|flatbutterfly|fatclique|slimfly|vl2")
+		k        = flag.Int("k", 8, "fat-tree K / fatclique Kf / butterfly dims")
+		n        = flag.Int("n", 64, "jellyfish N / leaf count / butterfly C")
+		radix    = flag.Int("radix", 16, "switch radix")
+		net      = flag.Int("net", 8, "network ports per ToR")
+		d        = flag.Int("d", 8, "xpander D / fatclique Ks / vl2 DA")
+		lift     = flag.Int("lift", 6, "xpander lift / fatclique Kb / vl2 DI")
+		q        = flag.Int("q", 5, "slim fly q")
+		spines   = flag.Int("spines", 8, "leaf-spine spines")
+		rate     = flag.Float64("rate", 100, "line rate Gbps")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		tput     = flag.Bool("throughput", false, "also compute uniform-traffic throughput (slower)")
+	)
+	flag.Parse()
+	tp, err := cli.BuildTopology(cli.TopoParams{
+		Name: *topoName, K: *k, N: *n, Radix: *radix, Net: *net, D: *d,
+		Lift: *lift, Q: *q, Spines: *spines, Rate: units.Gbps(*rate), Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	st := tp.BasicStats()
+	rng := rand.New(rand.NewPCG(*seed, *seed^0x70706f))
+	gap := tp.SpectralGap(300, rng)
+	bisect := tp.BisectionEstimate(6, rng)
+	fmt.Printf("topology: %s\n", tp.Name)
+	fmt.Printf("  switches: %d   links: %d   servers: %d\n", st.Switches, st.Links, st.Servers)
+	min, max := tp.MinMaxDegree()
+	fmt.Printf("  degree: %d..%d   regular: %v\n", min, max, min == max)
+	fmt.Printf("  ToR diameter: %d   mean ToR hops: %.3f\n", st.ToRDiam, st.ToRMean)
+	fmt.Printf("  spectral gap: %.4f   bisection (heuristic): %.0f Gbps\n", gap, bisect)
+	if *tput {
+		tors := tp.ToRs()
+		per := float64(tp.Nodes[tors[0]].ServerPorts) * *rate
+		m := trafficsim.Uniform(len(tors), per)
+		ae, err := trafficsim.ECMPThroughput(tp, m)
+		if err == nil {
+			fmt.Printf("  uniform-traffic alpha (ECMP): %.3f\n", ae)
+		}
+		ak, err := trafficsim.KSPThroughput(tp, m, trafficsim.DefaultKSP())
+		if err == nil {
+			fmt.Printf("  uniform-traffic alpha (KSP-8): %.3f\n", ak)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package physdep is a physical-deployability modeling toolkit for
+// datacenter networks — an open-source reproduction of the system argued
+// for in "Physical Deployability Matters" (Mogul & Wilkes, HotNets 2023).
+//
+// The root package is intentionally empty: the library lives under
+// internal/ (see DESIGN.md for the system inventory), the executables
+// under cmd/, runnable examples under examples/, and the benchmark
+// harness that regenerates every paper-claim table in bench_test.go.
+package physdep

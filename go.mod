@@ -1,0 +1,3 @@
+module physdep
+
+go 1.22

@@ -1,0 +1,196 @@
+// Package attest models the supply-chain integrity side of §2.2:
+// switches and controllers "are physical items that travel along a supply
+// chain [and] are inherently vulnerable to security threats during the
+// journey"; defending them "requires support for tamper-resistance and
+// continuous auditing of hardware and firmware."
+//
+// The model is a hash-chained custody log per component: every handoff
+// (factory → freight → depot → install) and every firmware measurement
+// appends a record whose digest covers the previous record. An auditor
+// re-walks the chain and flags breaks (tampered or reordered records),
+// gaps (custody windows with no attestation), and firmware drift
+// (measurements that differ from the approved set).
+package attest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EventKind classifies custody-log records.
+type EventKind string
+
+const (
+	EventHandoff EventKind = "handoff" // possession moved between parties
+	EventMeasure EventKind = "measure" // firmware/hardware measurement taken
+	EventInstall EventKind = "install" // racked and powered in the datacenter
+	EventInspect EventKind = "inspect" // periodic physical inspection
+)
+
+// Record is one custody-log entry. Digest = SHA-256 over the previous
+// record's digest plus this record's fields, so any retroactive edit
+// breaks every later record.
+type Record struct {
+	Seq      int
+	Kind     EventKind
+	Party    string // who holds or inspected the component
+	Firmware string // measurement value for EventMeasure/EventInstall; "" otherwise
+	At       int64  // logical timestamp (monotonic per component)
+	Digest   string
+}
+
+// Log is the custody chain for one component.
+type Log struct {
+	ComponentID string
+	Records     []Record
+}
+
+// digestOf computes the chained digest for a record given the previous
+// digest.
+func digestOf(prev string, r Record) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%d|%s|%s|%s|%d", prev, r.Seq, r.Kind, r.Party, r.Firmware, r.At)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Append adds a record, chaining its digest. Timestamps must be
+// monotonic.
+func (l *Log) Append(kind EventKind, party, firmware string, at int64) error {
+	if n := len(l.Records); n > 0 && at < l.Records[n-1].At {
+		return fmt.Errorf("attest: %s: timestamp %d before previous %d",
+			l.ComponentID, at, l.Records[n-1].At)
+	}
+	prev := ""
+	if n := len(l.Records); n > 0 {
+		prev = l.Records[n-1].Digest
+	}
+	r := Record{Seq: len(l.Records), Kind: kind, Party: party, Firmware: firmware, At: at}
+	r.Digest = digestOf(prev, r)
+	l.Records = append(l.Records, r)
+	return nil
+}
+
+// Finding is one audit problem.
+type Finding struct {
+	ComponentID string
+	Seq         int
+	Problem     string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s@%d: %s", f.ComponentID, f.Seq, f.Problem)
+}
+
+// AuditConfig tunes the audit.
+type AuditConfig struct {
+	// ApprovedFirmware is the set of acceptable measurement values.
+	ApprovedFirmware map[string]bool
+	// MaxCustodyGap is the longest allowed interval between consecutive
+	// records before the component counts as unobserved (0 = unchecked).
+	MaxCustodyGap int64
+	// TrustedParties, if non-empty, restricts who may appear in the
+	// chain; an unknown party is a finding.
+	TrustedParties map[string]bool
+}
+
+// Audit re-walks the chain and reports every integrity problem: digest
+// breaks, non-monotonic time, custody gaps, unknown parties, unapproved
+// firmware, and installation without a prior measurement.
+func Audit(l *Log, cfg AuditConfig) []Finding {
+	var fs []Finding
+	prev := ""
+	var lastAt int64
+	measuredSinceHandoff := false
+	for i, r := range l.Records {
+		if r.Seq != i {
+			fs = append(fs, Finding{l.ComponentID, i, fmt.Sprintf("sequence %d out of order", r.Seq)})
+		}
+		if want := digestOf(prev, Record{Seq: r.Seq, Kind: r.Kind, Party: r.Party,
+			Firmware: r.Firmware, At: r.At}); want != r.Digest {
+			fs = append(fs, Finding{l.ComponentID, i, "digest chain broken (record altered or inserted)"})
+		}
+		if i > 0 {
+			if r.At < lastAt {
+				fs = append(fs, Finding{l.ComponentID, i, "timestamp regression"})
+			}
+			if cfg.MaxCustodyGap > 0 && r.At-lastAt > cfg.MaxCustodyGap {
+				fs = append(fs, Finding{l.ComponentID, i,
+					fmt.Sprintf("custody gap of %d exceeds %d", r.At-lastAt, cfg.MaxCustodyGap)})
+			}
+		}
+		if len(cfg.TrustedParties) > 0 && !cfg.TrustedParties[r.Party] {
+			fs = append(fs, Finding{l.ComponentID, i, fmt.Sprintf("untrusted party %q", r.Party)})
+		}
+		switch r.Kind {
+		case EventMeasure, EventInstall:
+			if r.Firmware == "" {
+				fs = append(fs, Finding{l.ComponentID, i, "measurement missing firmware value"})
+			} else if len(cfg.ApprovedFirmware) > 0 && !cfg.ApprovedFirmware[r.Firmware] {
+				fs = append(fs, Finding{l.ComponentID, i,
+					fmt.Sprintf("unapproved firmware %q (possible implant)", r.Firmware)})
+			}
+			if r.Kind == EventInstall && !measuredSinceHandoff {
+				fs = append(fs, Finding{l.ComponentID, i, "installed without post-transit measurement"})
+			}
+			measuredSinceHandoff = true
+		case EventHandoff:
+			measuredSinceHandoff = false
+		}
+		prev = r.Digest
+		lastAt = r.At
+	}
+	return fs
+}
+
+// Fleet audits many logs and aggregates per-problem counts, sorted for
+// deterministic reporting.
+type FleetReport struct {
+	Components int
+	Clean      int
+	Findings   []Finding
+	ByProblem  map[string]int
+}
+
+// AuditFleet runs Audit over every log.
+func AuditFleet(logs []*Log, cfg AuditConfig) FleetReport {
+	rep := FleetReport{Components: len(logs), ByProblem: map[string]int{}}
+	for _, l := range logs {
+		fs := Audit(l, cfg)
+		if len(fs) == 0 {
+			rep.Clean++
+			continue
+		}
+		rep.Findings = append(rep.Findings, fs...)
+		for _, f := range fs {
+			rep.ByProblem[classify(f.Problem)]++
+		}
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		if rep.Findings[i].ComponentID != rep.Findings[j].ComponentID {
+			return rep.Findings[i].ComponentID < rep.Findings[j].ComponentID
+		}
+		return rep.Findings[i].Seq < rep.Findings[j].Seq
+	})
+	return rep
+}
+
+// classify buckets problem strings into stable categories.
+func classify(problem string) string {
+	switch {
+	case strings.Contains(problem, "digest"):
+		return "tamper"
+	case strings.Contains(problem, "firmware"):
+		return "firmware"
+	case strings.Contains(problem, "custody gap"):
+		return "gap"
+	case strings.Contains(problem, "party"):
+		return "party"
+	case strings.Contains(problem, "without post-transit"):
+		return "unverified-install"
+	default:
+		return "other"
+	}
+}

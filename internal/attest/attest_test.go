@@ -1,0 +1,188 @@
+package attest
+
+import (
+	"strings"
+	"testing"
+)
+
+func cleanChain(t *testing.T, id string) *Log {
+	t.Helper()
+	l := &Log{ComponentID: id}
+	steps := []struct {
+		kind     EventKind
+		party    string
+		firmware string
+		at       int64
+	}{
+		{EventMeasure, "factory", "fw-1.2.3", 0},
+		{EventHandoff, "freight", "", 10},
+		{EventHandoff, "depot", "", 20},
+		{EventMeasure, "depot", "fw-1.2.3", 25},
+		{EventInstall, "dc-ops", "fw-1.2.3", 30},
+		{EventInspect, "dc-ops", "", 40},
+	}
+	for _, s := range steps {
+		if err := l.Append(s.kind, s.party, s.firmware, s.at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func defaultCfg() AuditConfig {
+	return AuditConfig{
+		ApprovedFirmware: map[string]bool{"fw-1.2.3": true},
+		MaxCustodyGap:    15,
+		TrustedParties: map[string]bool{
+			"factory": true, "freight": true, "depot": true, "dc-ops": true},
+	}
+}
+
+func TestCleanChainAuditsClean(t *testing.T) {
+	l := cleanChain(t, "sw-1")
+	if fs := Audit(l, defaultCfg()); len(fs) != 0 {
+		t.Errorf("clean chain produced findings: %v", fs)
+	}
+}
+
+func TestAppendRejectsTimeRegression(t *testing.T) {
+	l := &Log{ComponentID: "sw-2"}
+	if err := l.Append(EventMeasure, "factory", "fw", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(EventHandoff, "freight", "", 5); err == nil {
+		t.Error("time regression accepted at append")
+	}
+}
+
+func TestAuditDetectsTampering(t *testing.T) {
+	l := cleanChain(t, "sw-3")
+	// An attacker rewrites the depot measurement to hide a firmware swap.
+	l.Records[3].Firmware = "fw-evil"
+	fs := Audit(l, defaultCfg())
+	var tamper, firmware bool
+	for _, f := range fs {
+		if strings.Contains(f.Problem, "digest") {
+			tamper = true
+		}
+		if strings.Contains(f.Problem, "unapproved firmware") {
+			firmware = true
+		}
+	}
+	if !tamper {
+		t.Error("rewritten record did not break the digest chain")
+	}
+	if !firmware {
+		t.Error("evil firmware not flagged")
+	}
+}
+
+func TestAuditDetectsUnapprovedFirmwareWithValidChain(t *testing.T) {
+	// The §2.2 remote-flash attack: the chain is intact, but the measured
+	// firmware is not the approved one.
+	l := &Log{ComponentID: "sw-4"}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(l.Append(EventMeasure, "factory", "fw-1.2.3", 0))
+	must(l.Append(EventHandoff, "freight", "", 5))
+	must(l.Append(EventMeasure, "depot", "fw-bootkit", 10))
+	fs := Audit(l, defaultCfg())
+	if len(fs) != 1 || !strings.Contains(fs[0].Problem, "fw-bootkit") {
+		t.Errorf("findings = %v, want exactly the bootkit", fs)
+	}
+}
+
+func TestAuditDetectsCustodyGap(t *testing.T) {
+	l := &Log{ComponentID: "sw-5"}
+	if err := l.Append(EventMeasure, "factory", "fw-1.2.3", 0); err != nil {
+		t.Fatal(err)
+	}
+	// 100 time units unobserved in transit.
+	if err := l.Append(EventMeasure, "depot", "fw-1.2.3", 100); err != nil {
+		t.Fatal(err)
+	}
+	fs := Audit(l, defaultCfg())
+	found := false
+	for _, f := range fs {
+		if strings.Contains(f.Problem, "custody gap") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("gap not flagged: %v", fs)
+	}
+}
+
+func TestAuditDetectsUntrustedParty(t *testing.T) {
+	l := cleanChain(t, "sw-6")
+	if err := l.Append(EventInspect, "unknown-contractor", "", 50); err != nil {
+		t.Fatal(err)
+	}
+	fs := Audit(l, defaultCfg())
+	if len(fs) != 1 || !strings.Contains(fs[0].Problem, "untrusted party") {
+		t.Errorf("findings = %v", fs)
+	}
+}
+
+func TestAuditDetectsInstallWithoutMeasurement(t *testing.T) {
+	l := &Log{ComponentID: "sw-7"}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(l.Append(EventMeasure, "factory", "fw-1.2.3", 0))
+	must(l.Append(EventHandoff, "freight", "", 5))
+	// Straight to install — nobody re-measured after transit.
+	must(l.Append(EventInstall, "dc-ops", "fw-1.2.3", 10))
+	fs := Audit(l, defaultCfg())
+	found := false
+	for _, f := range fs {
+		if strings.Contains(f.Problem, "without post-transit") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unverified install not flagged: %v", fs)
+	}
+}
+
+func TestAuditFleet(t *testing.T) {
+	var logs []*Log
+	for i := 0; i < 10; i++ {
+		logs = append(logs, cleanChain(t, strings.Repeat("x", i+1)))
+	}
+	// Compromise two of them differently.
+	logs[3].Records[4].Firmware = "fw-evil" // tamper + firmware
+	logs[7].Records = logs[7].Records[:3]   // truncated: no measurement findings, still clean chain
+	rep := AuditFleet(logs, defaultCfg())
+	if rep.Components != 10 {
+		t.Fatalf("components = %d", rep.Components)
+	}
+	if rep.Clean != 9 {
+		t.Errorf("clean = %d, want 9 (truncation alone is not a finding)", rep.Clean)
+	}
+	if rep.ByProblem["tamper"] == 0 {
+		t.Errorf("tamper not counted: %v", rep.ByProblem)
+	}
+	// Findings sorted by component then seq.
+	for i := 1; i < len(rep.Findings); i++ {
+		a, b := rep.Findings[i-1], rep.Findings[i]
+		if a.ComponentID > b.ComponentID || (a.ComponentID == b.ComponentID && a.Seq > b.Seq) {
+			t.Error("findings not sorted")
+		}
+	}
+}
+
+func TestDigestChainDeterministic(t *testing.T) {
+	a := cleanChain(t, "sw-8")
+	b := cleanChain(t, "sw-8")
+	for i := range a.Records {
+		if a.Records[i].Digest != b.Records[i].Digest {
+			t.Fatal("digests not deterministic")
+		}
+	}
+}

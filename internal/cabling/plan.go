@@ -1,0 +1,210 @@
+package cabling
+
+import (
+	"fmt"
+	"sort"
+
+	"physdep/internal/floorplan"
+	"physdep/internal/units"
+)
+
+// Demand is one required physical link: carry Rate between two rack
+// locations, passing through ExtraLoss worth of mid-span devices (patch
+// panels, OCSes). ID is caller-defined — placement uses topology edge IDs.
+type Demand struct {
+	ID        int
+	From, To  floorplan.RackLoc
+	Rate      units.Gbps
+	ExtraLoss units.DB
+}
+
+// Cable is one planned physical cable: a demand bound to a route and a
+// catalog spec.
+type Cable struct {
+	Demand Demand
+	Route  floorplan.Route
+	Spec   Spec
+}
+
+// Length returns the pulled length of the cable.
+func (c Cable) Length() units.Meters { return c.Route.Length }
+
+// Bundle is a group of same-rack-pair cables pre-assembled off the floor
+// and pulled as one unit (Singh et al.). Cross-section includes a packing
+// overhead: bundled cables don't tile perfectly.
+type Bundle struct {
+	CableIdx     []int // indices into Plan.Cables
+	Route        floorplan.Route
+	CrossSection units.SquareMillimeters
+}
+
+// Plan is the complete cabling of a placed topology: every cable, its
+// bundling, and the resulting tray occupancy.
+type Plan struct {
+	Cables  []Cable
+	Bundles []Bundle // covers every cable exactly once (singletons included)
+	Tray    *floorplan.TrayLoad
+}
+
+// Options tunes planning.
+type Options struct {
+	// MinBundleSize is the smallest cable group worth pre-building as a
+	// bundle; smaller groups are pulled individually (each becomes a
+	// singleton Bundle for uniform accounting).
+	MinBundleSize int
+	// PackingFactor inflates a bundle's cross-section over the sum of its
+	// members' (≥ 1). Default 1.2.
+	PackingFactor float64
+	// MaxBundleCables caps bundle size; long bundles get split. Default 64.
+	MaxBundleCables int
+	// Filter restricts catalog specs (vendor exclusions etc.).
+	Filter func(Spec) bool
+}
+
+func (o *Options) defaults() {
+	if o.MinBundleSize == 0 {
+		o.MinBundleSize = 4
+	}
+	if o.PackingFactor == 0 {
+		o.PackingFactor = 1.2
+	}
+	if o.MaxBundleCables == 0 {
+		o.MaxBundleCables = 64
+	}
+}
+
+// PlanCables routes every demand, selects media, groups cables into
+// pre-built bundles keyed by rack pair, and accounts tray occupancy.
+// It fails fast on the first demand with no feasible media; it does NOT
+// fail on tray overload — callers inspect Plan.Tray (a twin check or
+// report surfaces it) because overload is a finding, not a planning bug.
+func PlanCables(f *floorplan.Floorplan, cat *Catalog, demands []Demand, opts Options) (*Plan, error) {
+	opts.defaults()
+	p := &Plan{Tray: floorplan.NewTrayLoad(f)}
+	type pairKey struct {
+		a, b int // rack indices, a <= b
+	}
+	groups := map[pairKey][]int{}
+	for _, d := range demands {
+		route := f.RouteBetween(d.From, d.To)
+		spec, err := cat.SelectFiltered(d.Rate, route.Length, d.ExtraLoss, opts.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("demand %d (%v→%v): %w", d.ID, d.From, d.To, err)
+		}
+		idx := len(p.Cables)
+		p.Cables = append(p.Cables, Cable{Demand: d, Route: route, Spec: spec})
+		ka, kb := f.RackIndex(d.From), f.RackIndex(d.To)
+		if ka > kb {
+			ka, kb = kb, ka
+		}
+		groups[pairKey{ka, kb}] = append(groups[pairKey{ka, kb}], idx)
+	}
+	// Deterministic bundle order: sort group keys.
+	keys := make([]pairKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		idxs := groups[k]
+		sort.Ints(idxs)
+		if len(idxs) < opts.MinBundleSize {
+			for _, i := range idxs {
+				p.addBundle([]int{i}, 1.0) // singleton: no packing overhead
+			}
+			continue
+		}
+		for start := 0; start < len(idxs); start += opts.MaxBundleCables {
+			end := start + opts.MaxBundleCables
+			if end > len(idxs) {
+				end = len(idxs)
+			}
+			chunk := idxs[start:end]
+			if len(chunk) < opts.MinBundleSize {
+				for _, i := range chunk {
+					p.addBundle([]int{i}, 1.0)
+				}
+			} else {
+				p.addBundle(append([]int(nil), chunk...), opts.PackingFactor)
+			}
+		}
+	}
+	return p, nil
+}
+
+func (p *Plan) addBundle(cables []int, packing float64) {
+	var cs units.SquareMillimeters
+	for _, i := range cables {
+		cs += p.Cables[i].Spec.CrossSection()
+	}
+	cs = units.SquareMillimeters(float64(cs) * packing)
+	b := Bundle{CableIdx: cables, Route: p.Cables[cables[0]].Route, CrossSection: cs}
+	p.Bundles = append(p.Bundles, b)
+	p.Tray.Add(b.Route, b.CrossSection)
+}
+
+// Summary aggregates a plan for reports.
+type Summary struct {
+	Cables       int
+	Bundles      int // multi-cable bundles only
+	Singletons   int
+	TotalLength  units.Meters
+	MeanLength   units.Meters
+	MaxLength    units.Meters
+	MaterialCost units.USD
+	Power        units.Watts
+	ByClass      map[MediaClass]int
+	OpticalFrac  float64 // fraction of cables that are AOC or fiber
+	PeakTrayUtil float64
+}
+
+// Summarize computes plan-level aggregates.
+func (p *Plan) Summarize() Summary {
+	s := Summary{ByClass: map[MediaClass]int{}}
+	for _, c := range p.Cables {
+		s.Cables++
+		s.TotalLength += c.Length()
+		if c.Length() > s.MaxLength {
+			s.MaxLength = c.Length()
+		}
+		s.MaterialCost += c.Spec.Cost(c.Length())
+		s.Power += c.Spec.Power()
+		s.ByClass[c.Spec.Class]++
+	}
+	for _, b := range p.Bundles {
+		if len(b.CableIdx) > 1 {
+			s.Bundles++
+		} else {
+			s.Singletons++
+		}
+	}
+	if s.Cables > 0 {
+		s.MeanLength = s.TotalLength / units.Meters(s.Cables)
+		s.OpticalFrac = float64(s.ByClass[MediaAOC]+s.ByClass[MediaFiber]) / float64(s.Cables)
+	}
+	s.PeakTrayUtil = p.Tray.PeakUtilization()
+	return s
+}
+
+// BundleabilityScore measures how well a design's cables aggregate into
+// pre-buildable bundles: the fraction of cables that travel in a bundle
+// of at least minSize. Jellyfish's unstructured randomness scores low;
+// Clos pods and FatClique blocks score high — the §4.2 argument in one
+// number.
+func (p *Plan) BundleabilityScore(minSize int) float64 {
+	if len(p.Cables) == 0 {
+		return 0
+	}
+	in := 0
+	for _, b := range p.Bundles {
+		if len(b.CableIdx) >= minSize {
+			in += len(b.CableIdx)
+		}
+	}
+	return float64(in) / float64(len(p.Cables))
+}

@@ -1,0 +1,67 @@
+// Package cli holds the topology-builder shared by the physdep and
+// topogen commands: one flag vocabulary, one constructor, independently
+// testable.
+package cli
+
+import (
+	"fmt"
+
+	"physdep/internal/topology"
+	"physdep/internal/units"
+)
+
+// TopoParams is the union of generator knobs the CLIs expose. Not every
+// field applies to every family; BuildTopology documents the mapping.
+type TopoParams struct {
+	Name   string // topology family
+	K      int    // fat-tree K / fatclique Kf / butterfly dims
+	N      int    // jellyfish N / leaf count / butterfly C
+	Radix  int    // switch radix
+	Net    int    // network ports per ToR (jellyfish R, leaf uplinks)
+	D      int    // xpander D / fatclique Ks / vl2 DA
+	Lift   int    // xpander lift / fatclique Kb / vl2 DI
+	Q      int    // slim fly q
+	Spines int    // leaf-spine spine count
+	Rate   units.Gbps
+	Seed   uint64
+}
+
+// Families lists the accepted -topo values.
+func Families() []string {
+	return []string{"fattree", "leafspine", "jellyfish", "xpander",
+		"flatbutterfly", "fatclique", "slimfly", "vl2"}
+}
+
+// BuildTopology constructs the requested family from the shared
+// parameter set.
+func BuildTopology(p TopoParams) (*topology.Topology, error) {
+	switch p.Name {
+	case "fattree":
+		return topology.FatTree(topology.FatTreeConfig{K: p.K, Rate: p.Rate})
+	case "leafspine":
+		if p.Spines <= 0 {
+			return nil, fmt.Errorf("cli: leafspine needs -spines > 0")
+		}
+		return topology.LeafSpine(topology.LeafSpineConfig{
+			Leaves: p.N, Spines: p.Spines, UplinksPerTor: p.Net,
+			ServerPorts: p.Radix - p.Net, LeafRadix: p.Radix,
+			SpineRadix: p.N * p.Net / p.Spines, Rate: p.Rate})
+	case "jellyfish":
+		return topology.Jellyfish(topology.JellyfishConfig{
+			N: p.N, K: p.Radix, R: p.Net, Rate: p.Rate, Seed: p.Seed})
+	case "xpander":
+		return topology.Xpander(topology.XpanderConfig{
+			D: p.D, Lift: p.Lift, ServerPorts: p.Radix - p.D, Rate: p.Rate, Seed: p.Seed})
+	case "flatbutterfly":
+		return topology.FlattenedButterfly(topology.FlattenedButterflyConfig{
+			C: p.N, Dims: p.K, ServerPorts: p.Radix, Rate: p.Rate})
+	case "fatclique":
+		return topology.FatClique(topology.FatCliqueConfig{
+			Ks: p.D, Kb: p.Lift, Kf: p.K, ServerPorts: p.Radix, Rate: p.Rate})
+	case "slimfly":
+		return topology.SlimFly(topology.SlimFlyConfig{Q: p.Q, ServerPorts: p.Radix, Rate: p.Rate})
+	case "vl2":
+		return topology.VL2(topology.VL2Config{DA: p.D, DI: p.Lift, ServerPorts: p.Radix, Rate: p.Rate})
+	}
+	return nil, fmt.Errorf("cli: unknown topology %q (families: %v)", p.Name, Families())
+}

@@ -1,0 +1,46 @@
+package cli
+
+import (
+	"testing"
+)
+
+func TestBuildEveryFamily(t *testing.T) {
+	cases := map[string]TopoParams{
+		"fattree":       {Name: "fattree", K: 4, Rate: 100},
+		"leafspine":     {Name: "leafspine", N: 8, Spines: 4, Net: 4, Radix: 16, Rate: 100},
+		"jellyfish":     {Name: "jellyfish", N: 20, Radix: 12, Net: 6, Rate: 100, Seed: 1},
+		"xpander":       {Name: "xpander", D: 4, Lift: 3, Radix: 12, Rate: 100, Seed: 1},
+		"flatbutterfly": {Name: "flatbutterfly", N: 4, K: 2, Radix: 8, Rate: 100},
+		"fatclique":     {Name: "fatclique", D: 3, Lift: 3, K: 3, Radix: 8, Rate: 100},
+		"slimfly":       {Name: "slimfly", Q: 5, Radix: 9, Rate: 100},
+		"vl2":           {Name: "vl2", D: 4, Lift: 4, Radix: 16, Rate: 10},
+	}
+	if len(cases) != len(Families()) {
+		t.Fatalf("test covers %d families, CLI exposes %d", len(cases), len(Families()))
+	}
+	for name, p := range cases {
+		tp, err := BuildTopology(p)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if tp.NumSwitches() == 0 {
+			t.Errorf("%s: empty topology", name)
+		}
+		if err := tp.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBuildRejectsUnknownAndBadParams(t *testing.T) {
+	if _, err := BuildTopology(TopoParams{Name: "moebius"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if _, err := BuildTopology(TopoParams{Name: "leafspine", N: 8, Net: 4, Radix: 16}); err == nil {
+		t.Error("leafspine without spines accepted")
+	}
+	if _, err := BuildTopology(TopoParams{Name: "fattree", K: 3}); err == nil {
+		t.Error("odd fat-tree K accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Package core is physdep's headline API: the deployability evaluator
+// the paper's §5.4 calls for. Give it a topology, a hall, a media
+// catalog, and a cost model; it places the switches, plans the cables,
+// prices the build, schedules a crew, checks the digital twin, and
+// returns a DeployabilityReport — time-to-deploy, cost-to-deploy,
+// first-pass yield, bundleability, tray load, and the abstract
+// network-goodness numbers to weigh them against.
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"physdep/internal/cabling"
+	"physdep/internal/costmodel"
+	"physdep/internal/deploy"
+	"physdep/internal/floorplan"
+	"physdep/internal/placement"
+	"physdep/internal/topology"
+	"physdep/internal/twin"
+	"physdep/internal/units"
+)
+
+// Input bundles everything an evaluation needs. Zero values get sensible
+// defaults (see Evaluate).
+type Input struct {
+	Topo    *topology.Topology
+	Hall    floorplan.Hall
+	Catalog *cabling.Catalog
+	Model   *costmodel.Model
+
+	// PlacementSteps > 0 runs simulated-annealing placement refinement.
+	PlacementSteps int
+	// Techs is the deployment crew size (default 8).
+	Techs int
+	// Prebundle enables pre-built cable bundles (default true via
+	// DefaultInput; zero Input means false — explicit is better here).
+	Prebundle bool
+	// ExtraLoss, if set, gives per-edge mid-span optical loss.
+	ExtraLoss func(edgeID int) units.DB
+	// Seed drives placement annealing and yield rolls.
+	Seed uint64
+}
+
+// DefaultInput returns an Input for the common case: default catalog and
+// cost model, bundling on, 8 techs.
+func DefaultInput(t *topology.Topology, hall floorplan.Hall) Input {
+	return Input{
+		Topo:      t,
+		Hall:      hall,
+		Catalog:   cabling.DefaultCatalog(),
+		Model:     costmodel.Default(),
+		Techs:     8,
+		Prebundle: true,
+		Seed:      1,
+	}
+}
+
+// AbstractStats is the "paper metrics" side of the report.
+type AbstractStats struct {
+	Switches    int
+	Links       int
+	Servers     int
+	ToRDiameter int
+	ToRMeanHops float64
+	SpectralGap float64
+	BisectionGb float64
+}
+
+// Report is the deployability scorecard.
+type Report struct {
+	Name     string
+	Abstract AbstractStats
+
+	// Physical build.
+	Cabling       cabling.Summary
+	Bundleability float64 // fraction of cables in ≥4-cable prebuilt bundles
+	CableCapex    units.USD
+	SwitchCapex   units.USD
+	TotalCapex    units.USD
+
+	// Deployment execution.
+	TimeToDeploy   units.Hours
+	LaborCost      units.USD
+	WalkFraction   float64 // walking share of on-floor labor
+	FirstPassYield float64
+	Reworks        int
+	StrandedCost   units.USD // server capital idle during deployment
+
+	// Twin verdict.
+	TwinViolations  int
+	TrayPeakUtil    float64
+	OutOfEnvelope   bool // schema-level violations present
+	DiversityRates  int  // distinct line rates absorbed
+	DiversityRadixs int  // distinct radixes absorbed
+}
+
+// Evaluate runs the full pipeline. It is deterministic per Input.Seed.
+func Evaluate(in Input) (*Report, error) {
+	if in.Topo == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	if in.Catalog == nil {
+		in.Catalog = cabling.DefaultCatalog()
+	}
+	if in.Model == nil {
+		in.Model = costmodel.Default()
+	}
+	if in.Techs == 0 {
+		in.Techs = 8
+	}
+	f, err := floorplan.NewFloorplan(in.Hall)
+	if err != nil {
+		return nil, err
+	}
+	p, err := placement.Greedy(in.Topo, f, placement.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if in.PlacementSteps > 0 {
+		placement.Optimize(p, in.PlacementSteps, in.Seed)
+	}
+	plan, err := cabling.PlanCables(f, in.Catalog, p.Demands(in.ExtraLoss), cabling.Options{})
+	if err != nil {
+		return nil, err
+	}
+	dp := deploy.Build(p, plan, in.Model, deploy.BuildOptions{Prebundle: in.Prebundle})
+	sched, err := deploy.Execute(dp, in.Model, f, deploy.ExecOptions{Techs: in.Techs, Seed: in.Seed})
+	if err != nil {
+		return nil, err
+	}
+	model, err := twin.FromNetwork(p, plan)
+	if err != nil {
+		return nil, err
+	}
+	violations := twin.CheckAll(model, twin.DefaultSchema(), twin.DefaultRules())
+
+	rep := &Report{Name: in.Topo.Name}
+	rep.fillAbstract(in)
+	rep.Cabling = plan.Summarize()
+	rep.Bundleability = plan.BundleabilityScore(4)
+	rep.CableCapex = rep.Cabling.MaterialCost
+	capex := in.Model.NetworkCapex(in.Topo, plan, 0, 0)
+	rep.SwitchCapex = capex.Switches
+	rep.TotalCapex = capex.Total
+	rep.TimeToDeploy = sched.Makespan.Hours()
+	rep.LaborCost = sched.LaborCost(in.Model)
+	if sched.LaborMinutes > 0 {
+		rep.WalkFraction = float64(sched.WalkMinutes) / float64(sched.LaborMinutes)
+	}
+	rep.FirstPassYield = sched.FirstPassYield()
+	rep.Reworks = sched.Reworks
+	rep.StrandedCost = in.Model.StrandedCost(in.Topo.Servers(), rep.TimeToDeploy)
+	rep.TrayPeakUtil = rep.Cabling.PeakTrayUtil
+	rep.TwinViolations = len(violations)
+	for _, v := range violations {
+		if len(v.Rule) >= 7 && v.Rule[:7] == "schema:" {
+			rep.OutOfEnvelope = true
+		}
+	}
+	rates := map[units.Gbps]bool{}
+	radixes := map[int]bool{}
+	for _, n := range in.Topo.Nodes {
+		rates[n.Rate] = true
+		radixes[n.Radix] = true
+	}
+	rep.DiversityRates = len(rates)
+	rep.DiversityRadixs = len(radixes)
+	return rep, nil
+}
+
+func (r *Report) fillAbstract(in Input) {
+	st := in.Topo.BasicStats()
+	rng := rand.New(rand.NewPCG(in.Seed, in.Seed^0xab5))
+	r.Abstract = AbstractStats{
+		Switches:    st.Switches,
+		Links:       st.Links,
+		Servers:     st.Servers,
+		ToRDiameter: st.ToRDiam,
+		ToRMeanHops: st.ToRMean,
+		SpectralGap: in.Topo.SpectralGap(200, rng),
+		BisectionGb: in.Topo.BisectionEstimate(4, rng),
+	}
+}
+
+// Row renders the report as one aligned table row; Header gives the
+// matching column names. cmd/experiments uses these for E1.
+func Header() string {
+	return fmt.Sprintf("%-22s %8s %8s %7s %9s %8s %7s %9s %12s %10s %8s %7s",
+		"topology", "switches", "servers", "cables", "length_m", "optical%",
+		"bundle%", "capex_$", "deploy_hrs", "labor_$", "yield%", "tray%")
+}
+
+// Row formats the report under Header's columns.
+func (r *Report) Row() string {
+	return fmt.Sprintf("%-22s %8d %8d %7d %9.0f %8.1f %7.1f %9.0f %12.1f %10.0f %8.2f %7.1f",
+		r.Name, r.Abstract.Switches, r.Abstract.Servers, r.Cabling.Cables,
+		float64(r.Cabling.TotalLength), 100*r.Cabling.OpticalFrac,
+		100*r.Bundleability, float64(r.TotalCapex), float64(r.TimeToDeploy),
+		float64(r.LaborCost), 100*r.FirstPassYield, 100*r.TrayPeakUtil)
+}

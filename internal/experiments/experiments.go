@@ -1,0 +1,72 @@
+// Package experiments regenerates every quantitative claim in the paper
+// as a table (the paper itself, a position paper, has no numbered tables
+// or figures — each experiment here quantifies one of its prose claims or
+// case studies; see DESIGN.md §3 for the index). cmd/experiments prints
+// them; bench_test.go at the repo root wraps each in a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is one regenerated table.
+type Result struct {
+	ID    string
+	Title string
+	Paper string // the paper claim being tested, quoted or paraphrased
+	Lines []string
+	Notes string
+}
+
+// Render formats the result for the terminal.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "   paper: %s\n", r.Paper)
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, "   %s\n", l)
+	}
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "   note: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// Runner produces one experiment.
+type Runner func() (*Result, error)
+
+// All returns every experiment in ID order.
+func All() map[string]Runner {
+	return map[string]Runner{
+		"E1":  E1Deployability,
+		"E2":  E2MediaCrossover,
+		"E3":  E3ExpansionComplexity,
+		"E4":  E4JupiterConversion,
+		"E5":  E5IndirectionBenefit,
+		"E6":  E6UnitOfRepair,
+		"E7":  E7ThroughputVsDeploy,
+		"E8":  E8Bundling,
+		"E9":  E9StrandedCapital,
+		"E10": E10TwinDryRun,
+		"E11": E11Heterogeneity,
+		"E12": E12Fungibility,
+		"E13": E13Decom,
+		"E14": E14Envelope,
+		"E15": E15CapacityPlanning,
+		"E16": E16TopologyEngineering,
+		"E17": E17ActivePanels,
+		"E18": E18RobotCrews,
+		"E19": E19FailureDegradation,
+		"E20": E20DayOneVsLifetime,
+		"E21": E21HumanFactors,
+		"E22": E22SupplyChainAudit,
+	}
+}
+
+// Order lists experiment IDs in presentation order.
+func Order() []string {
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7",
+		"E8", "E9", "E10", "E11", "E12", "E13", "E14",
+		"E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22"}
+}

@@ -1,0 +1,116 @@
+// Package floorplan models the physical side of a datacenter hall: rows
+// of rack slots, overhead cable trays, cross-aisle spine trays, doors, and
+// per-rack plenum space. It answers the questions the paper says abstract
+// network designs ignore — how far apart two switches really are, which
+// tray segments their cable occupies, and whether a pre-cabled unit fits
+// through the door.
+package floorplan
+
+import (
+	"fmt"
+
+	"physdep/internal/units"
+)
+
+// Hall describes a rectangular machine hall with Rows parallel rows of
+// RacksPerRow rack slots each. Cables leave a rack vertically into an
+// overhead tray running along its row; row trays connect to perpendicular
+// spine trays at both ends of the hall.
+type Hall struct {
+	Rows        int
+	RacksPerRow int
+	RackPitch   units.Meters // center-to-center slot spacing along a row
+	RowPitch    units.Meters // center-to-center spacing between rows
+	RiserLength units.Meters // rack top-of-rack to tray, per end of a cable
+	SlackFactor float64      // multiplier ≥ 1 for routing slack & service loops
+
+	DoorWidth units.Meters // limits how wide a pre-assembled unit can be
+	RackWidth units.Meters // physical rack width (typ. 0.6 m)
+
+	TrayCapacity   units.SquareMillimeters // usable cross-section per tray segment
+	PlenumCapacity units.SquareMillimeters // usable intra-rack cable plenum per rack
+	RackUnits      int                     // usable RU per rack (typ. 42)
+}
+
+// DefaultHall returns geometry for a modest production-style hall, sized
+// so the E1 topologies (up to a few hundred switches) fit comfortably.
+func DefaultHall(rows, racksPerRow int) Hall {
+	return Hall{
+		Rows:           rows,
+		RacksPerRow:    racksPerRow,
+		RackPitch:      0.7,
+		RowPitch:       1.8,
+		RiserLength:    2.5,
+		SlackFactor:    1.15,
+		DoorWidth:      1.1,
+		RackWidth:      0.6,
+		TrayCapacity:   120000, // mm²: a 600 mm × 200 mm tray
+		PlenumCapacity: 60000,  // mm²
+		RackUnits:      42,
+	}
+}
+
+// RackLoc addresses one rack slot.
+type RackLoc struct {
+	Row  int
+	Slot int
+}
+
+func (l RackLoc) String() string { return fmt.Sprintf("r%d.s%d", l.Row, l.Slot) }
+
+// Floorplan is a hall plus per-rack occupancy state.
+type Floorplan struct {
+	Hall
+	usedRU []int // indexed by rack index
+}
+
+// NewFloorplan validates the hall and returns an empty floorplan.
+func NewFloorplan(h Hall) (*Floorplan, error) {
+	if h.Rows < 1 || h.RacksPerRow < 1 {
+		return nil, fmt.Errorf("floorplan: need at least one row and one slot, got %dx%d", h.Rows, h.RacksPerRow)
+	}
+	if h.SlackFactor < 1 {
+		return nil, fmt.Errorf("floorplan: SlackFactor %v < 1", h.SlackFactor)
+	}
+	return &Floorplan{Hall: h, usedRU: make([]int, h.Rows*h.RacksPerRow)}, nil
+}
+
+// NumRacks returns the total number of rack slots.
+func (f *Floorplan) NumRacks() int { return f.Rows * f.RacksPerRow }
+
+// RackIndex converts a location to a dense rack index.
+func (f *Floorplan) RackIndex(l RackLoc) int { return l.Row*f.RacksPerRow + l.Slot }
+
+// LocOf converts a dense rack index back to a location.
+func (f *Floorplan) LocOf(idx int) RackLoc {
+	return RackLoc{Row: idx / f.RacksPerRow, Slot: idx % f.RacksPerRow}
+}
+
+// ReserveRU claims ru rack units in rack idx, failing when the rack is
+// full. Placement uses this to pack switches.
+func (f *Floorplan) ReserveRU(idx, ru int) error {
+	if f.usedRU[idx]+ru > f.RackUnits {
+		return fmt.Errorf("floorplan: rack %v full (%d + %d > %d RU)",
+			f.LocOf(idx), f.usedRU[idx], ru, f.RackUnits)
+	}
+	f.usedRU[idx] += ru
+	return nil
+}
+
+// ReleaseRU returns ru rack units to rack idx (decommissioning).
+func (f *Floorplan) ReleaseRU(idx, ru int) {
+	f.usedRU[idx] -= ru
+	if f.usedRU[idx] < 0 {
+		panic(fmt.Sprintf("floorplan: rack %v RU went negative", f.LocOf(idx)))
+	}
+}
+
+// UsedRU reports the rack units consumed in rack idx.
+func (f *Floorplan) UsedRU(idx int) int { return f.usedRU[idx] }
+
+// FitsThroughDoor reports whether a pre-assembled unit of n conjoined
+// racks fits through the hall door — the paper's "double-wide racks don't
+// always fit through doors" constraint.
+func (f *Floorplan) FitsThroughDoor(conjoinedRacks int) bool {
+	return units.Meters(float64(conjoinedRacks))*f.RackWidth <= f.DoorWidth
+}

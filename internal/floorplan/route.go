@@ -1,0 +1,200 @@
+package floorplan
+
+import (
+	"fmt"
+
+	"physdep/internal/units"
+)
+
+// Route is the physical path a cable takes between two racks: its pulled
+// length (slack included) and the tray segments it occupies. Cabling uses
+// routes to pick media by length and to account tray cross-section.
+type Route struct {
+	From, To  RackLoc
+	Length    units.Meters
+	Segments  []int // tray segment IDs traversed, in order
+	IntraRack bool
+}
+
+// intraRackLen is the standard in-rack patch length: top-of-rack switch to
+// anywhere in the same rack.
+const intraRackLen units.Meters = 2.0
+
+// NumTraySegments returns how many tray segments the hall has: one per
+// inter-slot gap per row, plus spine segments between adjacent rows at
+// both ends of the hall.
+func (f *Floorplan) NumTraySegments() int {
+	return f.Rows*(f.RacksPerRow-1) + 2*(f.Rows-1)
+}
+
+// rowSegment returns the segment ID of the row-tray span between slot s
+// and s+1 of row r.
+func (f *Floorplan) rowSegment(r, s int) int { return r*(f.RacksPerRow-1) + s }
+
+// spineSegment returns the segment ID of the spine span between row r and
+// r+1 at the left (end = 0) or right (end = 1) side of the hall.
+func (f *Floorplan) spineSegment(r, end int) int {
+	base := f.Rows * (f.RacksPerRow - 1)
+	return base + end*(f.Rows-1) + r
+}
+
+// RouteBetween computes the tray route between two rack locations. Cables
+// rise from the rack into its row tray, run along the row, cross between
+// rows on the nearer spine tray, and descend at the destination. Length
+// includes both risers and the hall's slack factor.
+func (f *Floorplan) RouteBetween(a, b RackLoc) Route {
+	if err := f.checkLoc(a); err != nil {
+		panic(err)
+	}
+	if err := f.checkLoc(b); err != nil {
+		panic(err)
+	}
+	if a == b {
+		return Route{From: a, To: b, Length: intraRackLen, IntraRack: true}
+	}
+	if a.Row == b.Row {
+		lo, hi := a.Slot, b.Slot
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		var segs []int
+		for s := lo; s < hi; s++ {
+			segs = append(segs, f.rowSegment(a.Row, s))
+		}
+		length := 2*f.RiserLength + units.Meters(hi-lo)*f.RackPitch
+		return Route{From: a, To: b,
+			Length:   units.Meters(float64(length) * f.SlackFactor),
+			Segments: segs}
+	}
+	// Different rows: compare going via the left spine (slot 0) with the
+	// right spine (slot RacksPerRow-1) and take the shorter run.
+	last := f.RacksPerRow - 1
+	leftRun := a.Slot + b.Slot
+	rightRun := (last - a.Slot) + (last - b.Slot)
+	end, run := 0, leftRun
+	if rightRun < leftRun {
+		end, run = 1, rightRun
+	}
+	loRow, hiRow := a.Row, b.Row
+	if loRow > hiRow {
+		loRow, hiRow = hiRow, loRow
+	}
+	var segs []int
+	// Along a's row toward the chosen end.
+	segs = append(segs, f.rowSpanToEnd(a, end)...)
+	for r := loRow; r < hiRow; r++ {
+		segs = append(segs, f.spineSegment(r, end))
+	}
+	segs = append(segs, f.rowSpanToEnd(b, end)...)
+	length := 2*f.RiserLength +
+		units.Meters(run)*f.RackPitch +
+		units.Meters(hiRow-loRow)*f.RowPitch
+	return Route{From: a, To: b,
+		Length:   units.Meters(float64(length) * f.SlackFactor),
+		Segments: segs}
+}
+
+// rowSpanToEnd lists the row segments from loc to the given end of its
+// row (end 0 = slot 0, end 1 = last slot).
+func (f *Floorplan) rowSpanToEnd(l RackLoc, end int) []int {
+	var segs []int
+	if end == 0 {
+		for s := 0; s < l.Slot; s++ {
+			segs = append(segs, f.rowSegment(l.Row, s))
+		}
+	} else {
+		for s := l.Slot; s < f.RacksPerRow-1; s++ {
+			segs = append(segs, f.rowSegment(l.Row, s))
+		}
+	}
+	return segs
+}
+
+func (f *Floorplan) checkLoc(l RackLoc) error {
+	if l.Row < 0 || l.Row >= f.Rows || l.Slot < 0 || l.Slot >= f.RacksPerRow {
+		return fmt.Errorf("floorplan: rack %v outside %dx%d hall", l, f.Rows, f.RacksPerRow)
+	}
+	return nil
+}
+
+// TrayLoad accumulates cable cross-section per tray segment so designs
+// can be checked against TrayCapacity — the constraint the paper notes is
+// routinely hidden by abstraction ("a space that is just a little too
+// small to accommodate the safe bending radius").
+type TrayLoad struct {
+	f    *Floorplan
+	used []units.SquareMillimeters
+}
+
+// NewTrayLoad returns an empty load tracker for f.
+func NewTrayLoad(f *Floorplan) *TrayLoad {
+	return &TrayLoad{f: f, used: make([]units.SquareMillimeters, f.NumTraySegments())}
+}
+
+// Add records one cable of the given cross-section along route r.
+func (t *TrayLoad) Add(r Route, crossSection units.SquareMillimeters) {
+	for _, s := range r.Segments {
+		t.used[s] += crossSection
+	}
+}
+
+// Remove reverses Add (decommissioning).
+func (t *TrayLoad) Remove(r Route, crossSection units.SquareMillimeters) {
+	for _, s := range r.Segments {
+		t.used[s] -= crossSection
+	}
+}
+
+// Used returns the occupied cross-section of segment s.
+func (t *TrayLoad) Used(s int) units.SquareMillimeters { return t.used[s] }
+
+// Overloaded returns the IDs of segments whose occupancy exceeds the
+// hall's tray capacity.
+func (t *TrayLoad) Overloaded() []int {
+	var over []int
+	for s, u := range t.used {
+		if u > t.f.TrayCapacity {
+			over = append(over, s)
+		}
+	}
+	return over
+}
+
+// PeakUtilization returns max over segments of used/capacity.
+func (t *TrayLoad) PeakUtilization() float64 {
+	peak := 0.0
+	for _, u := range t.used {
+		if r := float64(u) / float64(t.f.TrayCapacity); r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
+// WalkingDistance estimates how far a technician walks between two racks,
+// along aisles: down a's row to the nearer cross-aisle, across rows, and
+// along b's row. Deployment scheduling charges walking time against this.
+func (f *Floorplan) WalkingDistance(a, b RackLoc) units.Meters {
+	if a == b {
+		return 0
+	}
+	if a.Row == b.Row {
+		d := a.Slot - b.Slot
+		if d < 0 {
+			d = -d
+		}
+		return units.Meters(d) * f.RackPitch
+	}
+	last := f.RacksPerRow - 1
+	leftRun := a.Slot + b.Slot
+	rightRun := (last - a.Slot) + (last - b.Slot)
+	run := leftRun
+	if rightRun < leftRun {
+		run = rightRun
+	}
+	dr := a.Row - b.Row
+	if dr < 0 {
+		dr = -dr
+	}
+	return units.Meters(run)*f.RackPitch + units.Meters(dr)*f.RowPitch
+}

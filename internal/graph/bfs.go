@@ -1,0 +1,113 @@
+package graph
+
+// BFS returns hop distances from src to every node; unreachable nodes get
+// -1. Edge capacities are ignored: every live edge is one hop.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, id := range g.adj[u] {
+			w := g.Edges[id].Other(u)
+			if dist[w] == -1 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// PathStats summarizes hop-count structure over a node set.
+type PathStats struct {
+	Diameter    int     // max finite pairwise distance
+	MeanHops    float64 // mean over all ordered reachable pairs (u != v)
+	Reachable   int     // number of ordered reachable pairs
+	Unreachable int     // number of ordered unreachable pairs
+}
+
+// AllPairsStats runs BFS from every node in nodes (or all nodes if nodes is
+// nil) and aggregates diameter and mean hop count restricted to pairs
+// within the set. Topology comparisons use ToR-to-ToR stats, so the subset
+// form matters.
+func (g *Graph) AllPairsStats(nodes []int) PathStats {
+	if nodes == nil {
+		nodes = make([]int, g.N)
+		for i := range nodes {
+			nodes[i] = i
+		}
+	}
+	var st PathStats
+	var sum int64
+	for _, u := range nodes {
+		dist := g.BFS(u)
+		for _, v := range nodes {
+			if v == u {
+				continue
+			}
+			d := dist[v]
+			if d < 0 {
+				st.Unreachable++
+				continue
+			}
+			st.Reachable++
+			sum += int64(d)
+			if d > st.Diameter {
+				st.Diameter = d
+			}
+		}
+	}
+	if st.Reachable > 0 {
+		st.MeanHops = float64(sum) / float64(st.Reachable)
+	}
+	return st
+}
+
+// Connected reports whether all nodes are mutually reachable. The empty
+// graph is connected.
+func (g *Graph) Connected() bool {
+	if g.N == 0 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d == -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as sorted node slices,
+// ordered by their smallest node.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.N)
+	var comps [][]int
+	for s := 0; s < g.N; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, id := range g.adj[u] {
+				w := g.Edges[id].Other(u)
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}

@@ -1,0 +1,199 @@
+// Package graph implements the undirected multigraph and the graph
+// algorithms that the topology, traffic, and lifecycle packages build on:
+// BFS and all-pairs path statistics, connectivity, spectral-gap estimation
+// (expander quality), Dinic max-flow, and a Kernighan–Lin style bisection
+// heuristic.
+//
+// Graphs here are small by networking standards (thousands of nodes — one
+// node per switch, not per server), so the implementations favor clarity
+// and determinism over asymptotic heroics.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one undirected link between two nodes. Multigraphs are allowed:
+// two switches connected by a 4-cable trunk hold four parallel edges.
+type Edge struct {
+	ID int // index into Graph.Edges
+	U  int // endpoint node (smaller or equal endpoint not guaranteed)
+	V  int // endpoint node
+	// Cap is the edge capacity in arbitrary consistent units (physdep
+	// uses Gbps). Zero-capacity edges are treated as capacity 1 by
+	// algorithms that need capacities.
+	Cap float64
+}
+
+// Other returns the endpoint of e that is not n. It panics if n is not an
+// endpoint, which always indicates a bookkeeping bug in the caller.
+func (e Edge) Other(n int) int {
+	switch n {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d (%d–%d)", n, e.ID, e.U, e.V))
+}
+
+// Graph is an undirected multigraph over nodes 0..N-1.
+//
+// The zero value is an empty graph ready for use.
+type Graph struct {
+	N     int
+	Edges []Edge
+	adj   [][]int // adj[u] = edge IDs incident to u; self-loops appear twice
+}
+
+// New returns a graph with n nodes and no edges.
+func New(n int) *Graph {
+	return &Graph{N: n, adj: make([][]int, n)}
+}
+
+// AddNode appends one node and returns its ID.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	g.N++
+	return g.N - 1
+}
+
+// AddEdge adds an undirected edge u–v with capacity cap and returns its ID.
+// Self-loops and parallel edges are permitted.
+func (g *Graph) AddEdge(u, v int, cap float64) int {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0,%d)", u, v, g.N))
+	}
+	id := len(g.Edges)
+	g.Edges = append(g.Edges, Edge{ID: id, U: u, V: v, Cap: cap})
+	g.adj[u] = append(g.adj[u], id)
+	if v != u {
+		g.adj[v] = append(g.adj[v], id)
+	} else {
+		g.adj[u] = append(g.adj[u], id) // self-loop counts twice toward degree
+	}
+	return id
+}
+
+// RemoveEdge deletes edge id. Edge IDs of other edges are preserved (the
+// slot is tombstoned), so callers may hold IDs across removals. Removed
+// edges have U == -1.
+func (g *Graph) RemoveEdge(id int) {
+	if id < 0 || id >= len(g.Edges) || g.Edges[id].U == -1 {
+		panic(fmt.Sprintf("graph: RemoveEdge(%d): no such live edge", id))
+	}
+	e := g.Edges[id]
+	g.adj[e.U] = removeVal(g.adj[e.U], id)
+	if e.V != e.U {
+		g.adj[e.V] = removeVal(g.adj[e.V], id)
+	} else {
+		g.adj[e.U] = removeVal(g.adj[e.U], id) // second copy of the loop
+	}
+	g.Edges[id].U, g.Edges[id].V = -1, -1
+}
+
+func removeVal(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// Live reports whether edge id exists and has not been removed.
+func (g *Graph) Live(id int) bool {
+	return id >= 0 && id < len(g.Edges) && g.Edges[id].U != -1
+}
+
+// NumEdges returns the number of live edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, e := range g.Edges {
+		if e.U != -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Degree returns the degree of node u (self-loops count twice).
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// IncidentEdges returns the IDs of edges incident to u. The returned slice
+// is owned by the graph; callers must not modify it.
+func (g *Graph) IncidentEdges(u int) []int { return g.adj[u] }
+
+// Neighbors returns the distinct neighbor nodes of u in ascending order.
+func (g *Graph) Neighbors(u int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, id := range g.adj[u] {
+		w := g.Edges[id].Other(u)
+		if w != u && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// HasEdgeBetween reports whether at least one live edge joins u and v.
+func (g *Graph) HasEdgeBetween(u, v int) bool {
+	for _, id := range g.adj[u] {
+		if g.Edges[id].Other(u) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgesBetween returns the IDs of all live edges joining u and v.
+func (g *Graph) EdgesBetween(u, v int) []int {
+	var out []int
+	for _, id := range g.adj[u] {
+		if g.Edges[id].Other(u) == v {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clone returns a deep copy of g. Tombstoned edges are preserved so edge
+// IDs remain valid in the copy.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{N: g.N, Edges: append([]Edge(nil), g.Edges...), adj: make([][]int, g.N)}
+	for i := range g.adj {
+		c.adj[i] = append([]int(nil), g.adj[i]...)
+	}
+	return c
+}
+
+// MinMaxDegree returns the smallest and largest node degree. For an empty
+// graph it returns (0, 0).
+func (g *Graph) MinMaxDegree() (min, max int) {
+	if g.N == 0 {
+		return 0, 0
+	}
+	min = g.Degree(0)
+	for u := 0; u < g.N; u++ {
+		d := g.Degree(u)
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return min, max
+}
+
+// IsRegular reports whether every node has degree d.
+func (g *Graph) IsRegular(d int) bool {
+	min, max := g.MinMaxDegree()
+	return min == d && max == d
+}

@@ -1,0 +1,141 @@
+package graph
+
+// ShortestPathDAG describes, for a fixed destination t, the equal-cost
+// next hops every node may use — exactly what an ECMP-routed fabric
+// installs in its forwarding tables.
+type ShortestPathDAG struct {
+	Dst      int
+	Dist     []int   // hop distance to Dst; -1 if unreachable
+	NextHops [][]int // NextHops[u] = neighbors one hop closer to Dst (sorted, deduped)
+	PathCnt  []float64
+}
+
+// ECMPDag builds the shortest-path DAG toward dst, including the number of
+// distinct shortest paths from each node (parallel edges multiply path
+// counts, as they multiply ECMP hash buckets).
+func (g *Graph) ECMPDag(dst int) *ShortestPathDAG {
+	dag := &ShortestPathDAG{
+		Dst:      dst,
+		Dist:     g.BFS(dst),
+		NextHops: make([][]int, g.N),
+		PathCnt:  make([]float64, g.N),
+	}
+	dag.PathCnt[dst] = 1
+	// Process nodes in increasing distance so path counts accumulate.
+	order := make([]int, 0, g.N)
+	for u := 0; u < g.N; u++ {
+		if dag.Dist[u] >= 0 {
+			order = append(order, u)
+		}
+	}
+	// counting sort by distance
+	maxd := 0
+	for _, u := range order {
+		if dag.Dist[u] > maxd {
+			maxd = dag.Dist[u]
+		}
+	}
+	buckets := make([][]int, maxd+1)
+	for _, u := range order {
+		buckets[dag.Dist[u]] = append(buckets[dag.Dist[u]], u)
+	}
+	for d := 1; d <= maxd; d++ {
+		for _, u := range buckets[d] {
+			seen := map[int]bool{}
+			for _, id := range g.adj[u] {
+				w := g.Edges[id].Other(u)
+				if w == u || dag.Dist[w] != d-1 {
+					continue
+				}
+				dag.PathCnt[u] += dag.PathCnt[w] // each parallel edge adds paths
+				if !seen[w] {
+					seen[w] = true
+					dag.NextHops[u] = append(dag.NextHops[u], w)
+				}
+			}
+		}
+	}
+	return dag
+}
+
+// DirLoad indexes directional edge loads: links are full duplex, so each
+// edge has independent capacity in its U→V and V→U directions.
+// A directional load slice has length 2×len(Edges); entry DirLoad(id,
+// fromU) is the load on edge id flowing from U to V (fromU=true) or V to
+// U (fromU=false).
+func DirLoad(edgeID int, fromU bool) int {
+	if fromU {
+		return 2 * edgeID
+	}
+	return 2*edgeID + 1
+}
+
+// ECMPLinkLoads splits one unit of demand from each src in srcs toward dst
+// along the ECMP DAG (even split across next-hop *edges*) and returns the
+// combined (both-direction) load on each edge ID — a convenience view for
+// hot-spot inspection. For capacity math use ECMPLinkLoadsWeighted, which
+// keeps directions separate.
+func (g *Graph) ECMPLinkLoads(srcs []int, dst int) []float64 {
+	w := make(map[int]float64, len(srcs))
+	for _, s := range srcs {
+		w[s] += 1
+	}
+	dir := g.ECMPLinkLoadsWeighted(w, dst)
+	load := make([]float64, len(g.Edges))
+	for id := range load {
+		load[id] = dir[2*id] + dir[2*id+1]
+	}
+	return load
+}
+
+// ECMPLinkLoadsWeighted routes weight[s] units of traffic from each
+// source s to dst, fluid-split across equal-cost next-hop edges, and
+// returns directional loads (see DirLoad).
+func (g *Graph) ECMPLinkLoadsWeighted(weight map[int]float64, dst int) []float64 {
+	dag := g.ECMPDag(dst)
+	load := make([]float64, 2*len(g.Edges))
+	nodeIn := make([]float64, g.N)
+	for s, w := range weight {
+		if s != dst && dag.Dist[s] >= 0 {
+			nodeIn[s] += w
+		}
+	}
+	// Drain nodes from farthest to nearest.
+	maxd := 0
+	for u := 0; u < g.N; u++ {
+		if dag.Dist[u] > maxd {
+			maxd = dag.Dist[u]
+		}
+	}
+	buckets := make([][]int, maxd+1)
+	for u := 0; u < g.N; u++ {
+		if dag.Dist[u] >= 0 {
+			buckets[dag.Dist[u]] = append(buckets[dag.Dist[u]], u)
+		}
+	}
+	for d := maxd; d >= 1; d-- {
+		for _, u := range buckets[d] {
+			if nodeIn[u] == 0 {
+				continue
+			}
+			// Downhill edges from u.
+			var down []int
+			for _, id := range g.adj[u] {
+				e := g.Edges[id]
+				w := e.Other(u)
+				if w != u && dag.Dist[w] == d-1 {
+					down = append(down, id)
+				}
+			}
+			if len(down) == 0 {
+				continue
+			}
+			share := nodeIn[u] / float64(len(down))
+			for _, id := range down {
+				load[DirLoad(id, g.Edges[id].U == u)] += share
+				nodeIn[g.Edges[id].Other(u)] += share
+			}
+		}
+	}
+	return load
+}

@@ -1,0 +1,125 @@
+package lifecycle
+
+import (
+	"fmt"
+
+	"physdep/internal/units"
+)
+
+// ConversionConfig models the §4.3 case study: converting a live Jupiter
+// from fat-tree (agg blocks → spine blocks through an OCS layer) to
+// direct-connect (agg blocks meshed through the same OCS layer). The work
+// is per OCS rack: drain it, move its fibers from spine-facing positions
+// to agg-facing positions, un-drain, validate.
+type ConversionConfig struct {
+	AggBlocks   int
+	SpineBlocks int
+	UplinksPer  int // uplink fibers per agg block through the OCS layer
+	OCSRacks    int // OCS units, each hosting an equal share of fibers
+
+	// Per-action labor. The paper: "technicians perform the complex task
+	// of moving a lot of fibers without breaking or mis-connecting any of
+	// them... multiple hours of human labor per rack."
+	MinutesPerFiberMove units.Minutes
+	DrainMinutes        units.Minutes // drain + verify, per rack
+	UndrainMinutes      units.Minutes // undrain + validate, per rack
+	Crews               int           // racks worked in parallel (availability allowing)
+	// MaxConcurrentDrainFrac caps the fraction of OCS racks drained at
+	// once, protecting fabric capacity (SDN-coordinated chunking).
+	MaxConcurrentDrainFrac float64
+}
+
+// DefaultConversionConfig sizes a plausible mid-size Jupiter conversion.
+func DefaultConversionConfig() ConversionConfig {
+	return ConversionConfig{
+		AggBlocks:   32,
+		SpineBlocks: 16,
+		UplinksPer:  256,
+		OCSRacks:    16,
+
+		MinutesPerFiberMove:    1.5,
+		DrainMinutes:           20,
+		UndrainMinutes:         30,
+		Crews:                  4,
+		MaxConcurrentDrainFrac: 0.25,
+	}
+}
+
+// ConversionReport quantifies the conversion.
+type ConversionReport struct {
+	Racks          int
+	FibersPerRack  int
+	FiberMoves     int           // total fibers re-terminated
+	PerRackMinutes units.Minutes // drain + moves + undrain for one rack
+	LaborMinutes   units.Minutes // total technician time
+	Makespan       units.Minutes // wall clock with crews and drain cap
+	// PeakCapacityLoss is the largest fraction of OCS-layer capacity
+	// simultaneously drained.
+	PeakCapacityLoss float64
+	// CapacityLossRackMinutes integrates drained-capacity over time:
+	// (fraction drained) × minutes, summed — the availability cost.
+	CapacityLossRackMinutes float64
+}
+
+// PlanConversion computes the §4.3 conversion plan and its costs.
+//
+// Fiber accounting: in the fat-tree, every agg uplink runs to a spine via
+// an OCS position; in direct-connect, the same agg-side fibers are
+// re-jumpered to face other agg blocks, and the spine-side fibers are
+// disconnected. Each agg-side fiber therefore moves once, giving
+// AggBlocks × UplinksPer moves spread evenly over the OCS racks.
+func PlanConversion(cfg ConversionConfig) (ConversionReport, error) {
+	if cfg.AggBlocks < 2 || cfg.OCSRacks < 1 || cfg.UplinksPer < 1 {
+		return ConversionReport{}, fmt.Errorf("lifecycle: bad conversion config %+v", cfg)
+	}
+	if cfg.Crews < 1 {
+		return ConversionReport{}, fmt.Errorf("lifecycle: need at least one crew")
+	}
+	if cfg.MaxConcurrentDrainFrac <= 0 || cfg.MaxConcurrentDrainFrac > 1 {
+		return ConversionReport{}, fmt.Errorf("lifecycle: MaxConcurrentDrainFrac must be in (0,1]")
+	}
+	totalFibers := cfg.AggBlocks * cfg.UplinksPer
+	perRack := (totalFibers + cfg.OCSRacks - 1) / cfg.OCSRacks
+	perRackMinutes := cfg.DrainMinutes + cfg.UndrainMinutes +
+		units.Minutes(float64(cfg.MinutesPerFiberMove)*float64(perRack))
+
+	// Concurrency: limited by both crew count and the drain cap.
+	maxDrained := int(cfg.MaxConcurrentDrainFrac * float64(cfg.OCSRacks))
+	if maxDrained < 1 {
+		maxDrained = 1
+	}
+	conc := cfg.Crews
+	if maxDrained < conc {
+		conc = maxDrained
+	}
+	waves := (cfg.OCSRacks + conc - 1) / conc
+	rep := ConversionReport{
+		Racks:          cfg.OCSRacks,
+		FibersPerRack:  perRack,
+		FiberMoves:     totalFibers,
+		PerRackMinutes: perRackMinutes,
+		LaborMinutes:   units.Minutes(float64(perRackMinutes) * float64(cfg.OCSRacks)),
+		Makespan:       units.Minutes(float64(perRackMinutes) * float64(waves)),
+	}
+	rep.PeakCapacityLoss = float64(conc) / float64(cfg.OCSRacks)
+	// Integral of drained capacity fraction over time: each of the Racks
+	// racks is drained (1/Racks of capacity) for perRackMinutes, so the
+	// integral is perRackMinutes in fraction·minutes, independent of
+	// concurrency — parallelism trades peak loss against wall clock.
+	rep.CapacityLossRackMinutes = float64(perRackMinutes)
+	return rep, nil
+}
+
+// OCSConversionReport models the alternative §5.1 world: the OCS layer is
+// software-reconfigurable, so "conversion" is a sequence of drained
+// software retargets with no fiber handling. Same capacity math, minutes
+// per move from the OCS reconfig constant.
+func OCSConversion(cfg ConversionConfig, ocsReconfig units.Minutes) (ConversionReport, error) {
+	manual := cfg
+	manual.MinutesPerFiberMove = ocsReconfig
+	// No human drain windows beyond a safety check: software drains are
+	// brief.
+	manual.DrainMinutes /= 4
+	manual.UndrainMinutes /= 4
+	return PlanConversion(manual)
+}

@@ -1,0 +1,109 @@
+package lifecycle
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CableRecord is one installed cable as the asset database sees it: which
+// logical link it serves (if any), which bundle it travels in, which
+// hardware generation installed it, and whether anything still plans to
+// use it. The paper's §2.1: "we can only remove a cable bundle once none
+// of the affected ports are still in service, and none are planned to be
+// in service soon."
+type CableRecord struct {
+	ID         int
+	Bundle     int  // bundle ID; -1 for individually pulled cables
+	Generation int  // install generation (0 oldest)
+	InService  bool // a live link currently runs over it
+	Planned    bool // a pending design reserves it
+}
+
+// DecomPlan is the outcome of a decommission analysis.
+type DecomPlan struct {
+	RemovableCables  []int         // safe to pull
+	RemovableBundles []int         // bundles all of whose members are removable
+	BlockedBundles   map[int][]int // bundle -> member cables that block it
+}
+
+// PlanDecom computes what can safely be removed: a cable is removable iff
+// it is neither in service nor planned; a bundle is removable only if all
+// its members are (you cannot extract one cable from the middle of a
+// dressed bundle without risking its neighbors).
+func PlanDecom(cables []CableRecord) DecomPlan {
+	plan := DecomPlan{BlockedBundles: map[int][]int{}}
+	byBundle := map[int][]CableRecord{}
+	for _, c := range cables {
+		if c.Bundle >= 0 {
+			byBundle[c.Bundle] = append(byBundle[c.Bundle], c)
+			continue
+		}
+		if !c.InService && !c.Planned {
+			plan.RemovableCables = append(plan.RemovableCables, c.ID)
+		}
+	}
+	bundleIDs := make([]int, 0, len(byBundle))
+	for b := range byBundle {
+		bundleIDs = append(bundleIDs, b)
+	}
+	sort.Ints(bundleIDs)
+	for _, b := range bundleIDs {
+		var blockers []int
+		for _, c := range byBundle[b] {
+			if c.InService || c.Planned {
+				blockers = append(blockers, c.ID)
+			}
+		}
+		if len(blockers) == 0 {
+			plan.RemovableBundles = append(plan.RemovableBundles, b)
+			for _, c := range byBundle[b] {
+				plan.RemovableCables = append(plan.RemovableCables, c.ID)
+			}
+		} else {
+			plan.BlockedBundles[b] = blockers
+		}
+	}
+	sort.Ints(plan.RemovableCables)
+	return plan
+}
+
+// NaiveDecomByAge models the unsafe shortcut: remove everything at or
+// below the given generation, trusting age as a proxy for disuse. It
+// returns the cables that would be pulled and, among them, the ones that
+// were actually in service or planned — each an outage (or a blocked
+// future deployment) the paper's twin-checked process would have caught.
+func NaiveDecomByAge(cables []CableRecord, maxGeneration int) (pulled, outages []int) {
+	for _, c := range cables {
+		if c.Generation <= maxGeneration {
+			pulled = append(pulled, c.ID)
+			if c.InService || c.Planned {
+				outages = append(outages, c.ID)
+			}
+		}
+	}
+	return pulled, outages
+}
+
+// TrayRelief reports how much tray cross-section a decom frees, given a
+// lookup from cable ID to its cross-section share. Provisioning "enough
+// space in cable trays for several generations" (§2.1) is exactly the
+// budget this relieves.
+func TrayRelief(plan DecomPlan, area func(cableID int) float64) float64 {
+	total := 0.0
+	for _, id := range plan.RemovableCables {
+		total += area(id)
+	}
+	return total
+}
+
+// Validate sanity-checks records: duplicate IDs are modeling bugs.
+func ValidateRecords(cables []CableRecord) error {
+	seen := map[int]bool{}
+	for _, c := range cables {
+		if seen[c.ID] {
+			return fmt.Errorf("lifecycle: duplicate cable record %d", c.ID)
+		}
+		seen[c.ID] = true
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package lifecycle
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"physdep/internal/topology"
+	"physdep/internal/units"
+)
+
+// ExpansionStep records the physical cost of adding capacity to a fabric:
+// how many existing links had to be rewired (disconnected from in-service
+// switches and reconnected), how many brand-new links were added, and
+// where the work happened. "Rewired" links are the expensive, risky ones —
+// they touch live traffic; new links to new gear are safe.
+type ExpansionStep struct {
+	Fabric     string
+	AddedToRs  int
+	NewLinks   int
+	Rewired    int // live links broken and re-terminated
+	FloorTasks int // distinct physical locations visited (racks or panels)
+}
+
+// LaborMinutes prices the step: rewires cost a full live-fiber move
+// (paper §4.3 shows these are slow and careful); new links are ordinary
+// connections.
+func (s ExpansionStep) LaborMinutes(perRewire, perNewLink units.Minutes) units.Minutes {
+	return units.Minutes(float64(perRewire)*float64(s.Rewired) +
+		float64(perNewLink)*float64(s.NewLinks))
+}
+
+// ExpandJellyfish adds n ToRs to a Jellyfish one at a time, per the
+// paper's incremental procedure, and aggregates the physical cost. Each
+// added ToR rewires R/2 random live links whose endpoints can be anywhere
+// on the floor — the unbundleable, walk-heavy pattern the Xpander paper
+// calls "highly non-trivial" to pre-plan.
+func ExpandJellyfish(t *topology.Topology, cfg topology.JellyfishConfig, n int, rng *rand.Rand) (ExpansionStep, error) {
+	step := ExpansionStep{Fabric: t.Name}
+	touched := map[int]bool{}
+	for i := 0; i < n; i++ {
+		before := collectNeighbors(t)
+		id, rewired, err := topology.JellyfishAddToR(t, cfg, rng)
+		if err != nil {
+			return step, fmt.Errorf("lifecycle: jellyfish expansion: %w", err)
+		}
+		step.AddedToRs++
+		step.Rewired += rewired
+		step.NewLinks += t.Degree(id)
+		// Every switch whose neighbor set changed is a floor visit.
+		after := collectNeighbors(t)
+		for sw, nb := range after {
+			if sw == id {
+				continue
+			}
+			if b, ok := before[sw]; !ok || b != nb {
+				touched[sw] = true
+			}
+		}
+	}
+	step.FloorTasks = len(touched) + step.AddedToRs
+	return step, nil
+}
+
+// ExpandXpander adds n ToRs to an Xpander, spreading them round-robin
+// across meta-nodes, and aggregates the physical cost (d/2 live rewires
+// per ToR — the paper's headline number for Xpander's expansion tax).
+func ExpandXpander(t *topology.Topology, cfg topology.XpanderConfig, n int, rng *rand.Rand) (ExpansionStep, error) {
+	step := ExpansionStep{Fabric: t.Name}
+	touched := map[int]bool{}
+	for i := 0; i < n; i++ {
+		before := collectNeighbors(t)
+		id, rewired, err := topology.XpanderAddToR(t, cfg, i%(cfg.D+1), rng)
+		if err != nil {
+			return step, fmt.Errorf("lifecycle: xpander expansion: %w", err)
+		}
+		step.AddedToRs++
+		step.Rewired += rewired
+		step.NewLinks += t.Degree(id)
+		after := collectNeighbors(t)
+		for sw, nb := range after {
+			if sw == id {
+				continue
+			}
+			if b, ok := before[sw]; !ok || b != nb {
+				touched[sw] = true
+			}
+		}
+	}
+	step.FloorTasks = len(touched) + step.AddedToRs
+	return step, nil
+}
+
+// collectNeighbors fingerprints each node's neighbor multiset cheaply
+// (sum and count), enough to detect which switches were touched.
+func collectNeighbors(t *topology.Topology) map[int][2]int {
+	m := make(map[int][2]int, t.N)
+	for u := 0; u < t.N; u++ {
+		sum := 0
+		for _, id := range t.IncidentEdges(u) {
+			sum += t.Edges[id].Other(u)
+		}
+		m[u] = [2]int{t.Degree(u), sum}
+	}
+	return m
+}
+
+// ExpandClosViaPanels grows a patch-panel Clos by newAggs aggregation
+// blocks (each with uplinksPerAgg uplinks), reusing ClosFabric.ExpandAggs,
+// and converts the rewire report into an ExpansionStep for side-by-side
+// comparison with the expander fabrics. The crucial physical difference:
+// all moves happen at panels, not at in-service switches across the
+// floor, and no pre-installed agg→panel or spine→panel fiber moves.
+func ExpandClosViaPanels(cf *ClosFabric, newAggs, uplinksPerAgg, panelPorts int) (ExpansionStep, RewireReport, error) {
+	rep, err := cf.ExpandAggs(newAggs, uplinksPerAgg, panelPorts)
+	if err != nil {
+		return ExpansionStep{}, rep, err
+	}
+	step := ExpansionStep{
+		Fabric:     "clos+panels",
+		AddedToRs:  newAggs,
+		NewLinks:   rep.NewConnects,
+		Rewired:    rep.JumperMoves,
+		FloorTasks: rep.PanelsTouched + newAggs,
+	}
+	return step, rep, nil
+}

@@ -1,0 +1,521 @@
+package lifecycle
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"physdep/internal/topology"
+)
+
+func TestNewClosFabricPortDistribution(t *testing.T) {
+	cf, err := NewClosFabric(4, 2, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 uplinks over 16-port panels → 2 panels.
+	if len(cf.Panels) != 2 {
+		t.Fatalf("panels = %d, want 2", len(cf.Panels))
+	}
+	// Count front ports per agg and back ports per spine.
+	frontCount := make([]int, 4)
+	backCount := make([]int, 2)
+	for pi := range cf.Panels {
+		for _, a := range cf.frontOwner[pi] {
+			if a >= 0 {
+				frontCount[a]++
+			}
+		}
+		for _, s := range cf.backOwner[pi] {
+			if s >= 0 {
+				backCount[s]++
+			}
+		}
+	}
+	for a, c := range frontCount {
+		if c != 8 {
+			t.Errorf("agg %d has %d front ports, want 8", a, c)
+		}
+	}
+	for s, c := range backCount {
+		if c != 16 {
+			t.Errorf("spine %d has %d back ports, want 16", s, c)
+		}
+	}
+}
+
+func TestNewClosFabricRejectsIndivisible(t *testing.T) {
+	if _, err := NewClosFabric(3, 2, 5, 16); err == nil {
+		t.Error("15 uplinks over 2 spines accepted")
+	}
+}
+
+func TestUniformDemand(t *testing.T) {
+	m := UniformDemand(3, 4, 10)
+	for a := range m {
+		sum := 0
+		for _, v := range m[a] {
+			sum += v
+		}
+		if sum != 10 {
+			t.Errorf("agg %d row sums to %d, want 10", a, sum)
+		}
+	}
+	// Column sums balanced within 1.
+	min, max := 1<<30, 0
+	for s := 0; s < 4; s++ {
+		col := 0
+		for a := 0; a < 3; a++ {
+			col += m[a][s]
+		}
+		if col < min {
+			min = col
+		}
+		if col > max {
+			max = col
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("column sums spread %d..%d, want within 1", min, max)
+	}
+}
+
+func TestWireRealizesDemand(t *testing.T) {
+	cf, err := NewClosFabric(4, 2, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := UniformDemand(4, 2, 8)
+	if err := cf.Wire(want); err != nil {
+		t.Fatal(err)
+	}
+	got := cf.Demand()
+	for a := range want {
+		for s := range want[a] {
+			if got[a][s] != want[a][s] {
+				t.Errorf("demand[%d][%d] = %d, want %d", a, s, got[a][s], want[a][s])
+			}
+		}
+	}
+}
+
+func TestRewireIdentityIsFree(t *testing.T) {
+	cf, err := NewClosFabric(4, 2, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := UniformDemand(4, 2, 8)
+	if err := cf.Wire(want); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cf.Rewire(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.JumperMoves != 0 || rep.Steps != 0 || rep.PanelsTouched != 0 {
+		t.Errorf("identity rewire did work: %+v", rep)
+	}
+}
+
+func TestRewireMinimalMoves(t *testing.T) {
+	// 2 aggs, 2 spines, 4 uplinks each, one 16-port panel.
+	cf, err := NewClosFabric(2, 2, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := [][]int{{4, 0}, {0, 4}} // agg0 all to spine0, agg1 all to spine1
+	if err := cf.Wire(cur); err != nil {
+		t.Fatal(err)
+	}
+	target := [][]int{{2, 2}, {2, 2}}
+	rep, err := cf.Rewire(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σ(target − min(cur, target)) = (2−2)+(2−0)+(2−0)+(2−2) = 4 moves.
+	if rep.JumperMoves != 4 {
+		t.Errorf("moves = %d, want 4 (theoretical minimum)", rep.JumperMoves)
+	}
+	got := cf.Demand()
+	for a := range target {
+		for s := range target[a] {
+			if got[a][s] != target[a][s] {
+				t.Errorf("demand[%d][%d] = %d, want %d", a, s, got[a][s], target[a][s])
+			}
+		}
+	}
+}
+
+func TestExpandAggsRealizesNewUniform(t *testing.T) {
+	cf, err := NewClosFabric(4, 4, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Wire(UniformDemand(4, 4, 8)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cf.ExpandAggs(2, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.Aggs != 6 {
+		t.Fatalf("aggs = %d, want 6", cf.Aggs)
+	}
+	got := cf.Demand()
+	want := UniformDemand(6, 4, 8)
+	for a := range want {
+		for s := range want[a] {
+			if got[a][s] != want[a][s] {
+				t.Errorf("demand[%d][%d] = %d, want %d", a, s, got[a][s], want[a][s])
+			}
+		}
+	}
+	// Old striping was already uniform per agg; new uniform target keeps
+	// old agg rows identical, so only new-agg jumpers are added: zero
+	// moves of live jumpers.
+	if rep.JumperMoves != 0 {
+		t.Errorf("uniform→uniform expansion moved %d live jumpers, want 0", rep.JumperMoves)
+	}
+}
+
+func TestExpandJellyfishCost(t *testing.T) {
+	cfg := topology.JellyfishConfig{N: 30, K: 12, R: 6, Rate: 100, Seed: 5}
+	jf, err := topology.Jellyfish(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	step, err := ExpandJellyfish(jf, cfg, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.AddedToRs != 4 {
+		t.Errorf("added = %d, want 4", step.AddedToRs)
+	}
+	// Each add rewires R/2 = 3 live links.
+	if step.Rewired != 12 {
+		t.Errorf("rewired = %d, want 12", step.Rewired)
+	}
+	if step.NewLinks != 4*6 {
+		t.Errorf("new links = %d, want 24", step.NewLinks)
+	}
+	if step.FloorTasks <= step.AddedToRs {
+		t.Errorf("floor tasks = %d, expected visits to rewired switches too", step.FloorTasks)
+	}
+	if !jf.IsRegular(6) {
+		t.Error("expanded jellyfish lost regularity")
+	}
+}
+
+func TestExpandXpanderCost(t *testing.T) {
+	cfg := topology.XpanderConfig{D: 6, Lift: 4, ServerPorts: 8, Rate: 100, Seed: 2}
+	x, err := topology.Xpander(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	step, err := ExpandXpander(x, cfg, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.Rewired != 3*3 {
+		t.Errorf("rewired = %d, want 9 (3 adds × d/2)", step.Rewired)
+	}
+	if !x.IsRegular(6) {
+		t.Error("expanded xpander lost regularity")
+	}
+}
+
+func TestClosExpansionBeatsExpanderOnLiveRewires(t *testing.T) {
+	// The §4.1/§4.2 comparison in one test: growing a Clos through panels
+	// from a uniform state touches no live links; growing an Xpander
+	// rewires d/2 per ToR.
+	cf, err := NewClosFabric(8, 4, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cf.Wire(UniformDemand(8, 4, 16)); err != nil {
+		t.Fatal(err)
+	}
+	closStep, _, err := ExpandClosViaPanels(cf, 2, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xcfg := topology.XpanderConfig{D: 16, Lift: 2, ServerPorts: 16, Rate: 100, Seed: 3}
+	x, err := topology.Xpander(xcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 3))
+	xStep, err := ExpandXpander(x, xcfg, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closStep.Rewired >= xStep.Rewired {
+		t.Errorf("clos rewired %d live links, xpander %d — indirection should win",
+			closStep.Rewired, xStep.Rewired)
+	}
+}
+
+func TestPlanConversionArithmetic(t *testing.T) {
+	cfg := DefaultConversionConfig()
+	rep, err := PlanConversion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FiberMoves != 32*256 {
+		t.Errorf("fiber moves = %d, want 8192", rep.FiberMoves)
+	}
+	if rep.FibersPerRack != 512 {
+		t.Errorf("fibers/rack = %d, want 512", rep.FibersPerRack)
+	}
+	// Per-rack: 20 + 30 + 512×1.5 = 818 minutes ≈ 13.6 h — the paper's
+	// "multiple hours of human labor per rack".
+	if rep.PerRackMinutes.Hours() < 2 {
+		t.Errorf("per-rack work = %v, paper says multiple hours", rep.PerRackMinutes.Hours())
+	}
+	// Concurrency: min(4 crews, 25% of 16 racks = 4) = 4 → 4 waves.
+	if got, want := rep.Makespan, rep.PerRackMinutes*4; got != want {
+		t.Errorf("makespan = %v, want %v (4 waves)", got, want)
+	}
+	if rep.PeakCapacityLoss != 0.25 {
+		t.Errorf("peak capacity loss = %v, want 0.25", rep.PeakCapacityLoss)
+	}
+}
+
+func TestPlanConversionValidation(t *testing.T) {
+	cfg := DefaultConversionConfig()
+	cfg.Crews = 0
+	if _, err := PlanConversion(cfg); err == nil {
+		t.Error("zero crews accepted")
+	}
+	cfg = DefaultConversionConfig()
+	cfg.MaxConcurrentDrainFrac = 0
+	if _, err := PlanConversion(cfg); err == nil {
+		t.Error("zero drain frac accepted")
+	}
+}
+
+func TestOCSConversionMuchCheaper(t *testing.T) {
+	cfg := DefaultConversionConfig()
+	manual, err := PlanConversion(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := OCSConversion(cfg, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if soft.LaborMinutes >= manual.LaborMinutes/3 {
+		t.Errorf("software conversion labor %v not ≪ manual %v", soft.LaborMinutes, manual.LaborMinutes)
+	}
+}
+
+func TestPlanDecom(t *testing.T) {
+	cables := []CableRecord{
+		{ID: 0, Bundle: -1, InService: false}, // removable
+		{ID: 1, Bundle: -1, InService: true},  // blocked
+		{ID: 2, Bundle: -1, Planned: true},    // blocked (planned)
+		{ID: 3, Bundle: 0, InService: false},  // bundle 0
+		{ID: 4, Bundle: 0, InService: false},  // bundle 0 → removable
+		{ID: 5, Bundle: 1, InService: false},  // bundle 1
+		{ID: 6, Bundle: 1, InService: true},   // bundle 1 blocked
+	}
+	if err := ValidateRecords(cables); err != nil {
+		t.Fatal(err)
+	}
+	plan := PlanDecom(cables)
+	wantCables := []int{0, 3, 4}
+	if len(plan.RemovableCables) != len(wantCables) {
+		t.Fatalf("removable = %v, want %v", plan.RemovableCables, wantCables)
+	}
+	for i, id := range wantCables {
+		if plan.RemovableCables[i] != id {
+			t.Errorf("removable = %v, want %v", plan.RemovableCables, wantCables)
+		}
+	}
+	if len(plan.RemovableBundles) != 1 || plan.RemovableBundles[0] != 0 {
+		t.Errorf("removable bundles = %v, want [0]", plan.RemovableBundles)
+	}
+	if blockers := plan.BlockedBundles[1]; len(blockers) != 1 || blockers[0] != 6 {
+		t.Errorf("bundle 1 blockers = %v, want [6]", blockers)
+	}
+}
+
+func TestNaiveDecomCausesOutages(t *testing.T) {
+	cables := []CableRecord{
+		{ID: 0, Generation: 0, InService: false},
+		{ID: 1, Generation: 0, InService: true}, // old but live!
+		{ID: 2, Generation: 1, InService: true},
+		{ID: 3, Generation: 0, Planned: true},
+	}
+	pulled, outages := NaiveDecomByAge(cables, 0)
+	if len(pulled) != 3 {
+		t.Errorf("pulled = %v, want 3 gen-0 cables", pulled)
+	}
+	if len(outages) != 2 {
+		t.Errorf("outages = %v, want [1 3]", outages)
+	}
+}
+
+func TestTrayRelief(t *testing.T) {
+	plan := DecomPlan{RemovableCables: []int{1, 2}}
+	got := TrayRelief(plan, func(id int) float64 { return float64(id) * 10 })
+	if got != 30 {
+		t.Errorf("relief = %v, want 30", got)
+	}
+}
+
+func TestValidateRecordsDuplicate(t *testing.T) {
+	if err := ValidateRecords([]CableRecord{{ID: 1}, {ID: 1}}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+}
+
+// Deterministic property sweep: Wire realizes any demand matrix that is feasible by
+// construction. We sample a hidden per-panel solution first (respecting
+// each panel's port ownership), sum it into a demand matrix, and require
+// Wire to realize that matrix — the decomposition solver must rediscover
+// some valid split.
+func TestQuickWireRealizesFeasibleDemands(t *testing.T) {
+	trial := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xfea51b1e))
+		aggs := 2 + int(rng.IntN(4))   // 2..5
+		spines := 2 + int(rng.IntN(3)) // 2..4
+		uplinks := spines * (1 + int(rng.IntN(3)))
+		panelPorts := 8 + int(rng.IntN(3))*8
+		cf, err := NewClosFabric(aggs, spines, uplinks, panelPorts)
+		if err != nil {
+			return true // construction constraint (divisibility); skip
+		}
+		// Hidden solution: walk each panel's free fronts and pair them
+		// with free backs on the same panel, at random.
+		demand := make([][]int, aggs)
+		for a := range demand {
+			demand[a] = make([]int, spines)
+		}
+		for pi, panel := range cf.Panels {
+			var fronts []int
+			var backs []int
+			for f := 0; f < panel.Ports; f++ {
+				if cf.frontOwner[pi][f] != -1 {
+					fronts = append(fronts, f)
+				}
+				if cf.backOwner[pi][f] != -1 {
+					backs = append(backs, f)
+				}
+			}
+			rng.Shuffle(len(fronts), func(i, j int) { fronts[i], fronts[j] = fronts[j], fronts[i] })
+			rng.Shuffle(len(backs), func(i, j int) { backs[i], backs[j] = backs[j], backs[i] })
+			n := len(fronts)
+			if len(backs) < n {
+				n = len(backs)
+			}
+			// Pair a random subset.
+			n = rng.IntN(n + 1)
+			for i := 0; i < n; i++ {
+				a := cf.frontOwner[pi][fronts[i]]
+				s := cf.backOwner[pi][backs[i]]
+				demand[a][s]++
+			}
+		}
+		if err := cf.Wire(demand); err != nil {
+			t.Logf("seed %d: feasible demand not realized: %v", seed, err)
+			return false
+		}
+		got := cf.Demand()
+		for a := range demand {
+			for s := range demand[a] {
+				if got[a][s] != demand[a][s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for seed := uint64(0); seed < 400; seed++ {
+		if !trial(seed) {
+			t.Fatalf("seed %d failed", seed)
+		}
+	}
+}
+
+// Property: Rewire between two feasible-by-construction demand matrices
+// always succeeds and achieves exactly the keeper-optimal move count
+// Σ(target − min(cur, target)).
+func TestQuickRewireOptimalMoves(t *testing.T) {
+	trial := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0x4e14a11))
+		const aggs, spines, uplinks, panelPorts = 4, 4, 8, 32
+		cf, err := NewClosFabric(aggs, spines, uplinks, panelPorts)
+		if err != nil {
+			return false
+		}
+		// Two random doubly-bounded matrices built by random pairing on
+		// the SAME fabric layout, so both are feasible.
+		sample := func() [][]int {
+			d := make([][]int, aggs)
+			for a := range d {
+				d[a] = make([]int, spines)
+			}
+			for pi, panel := range cf.Panels {
+				var fronts, backs []int
+				for f := 0; f < panel.Ports; f++ {
+					if cf.frontOwner[pi][f] != -1 {
+						fronts = append(fronts, f)
+					}
+					if cf.backOwner[pi][f] != -1 {
+						backs = append(backs, f)
+					}
+				}
+				rng.Shuffle(len(fronts), func(i, j int) { fronts[i], fronts[j] = fronts[j], fronts[i] })
+				rng.Shuffle(len(backs), func(i, j int) { backs[i], backs[j] = backs[j], backs[i] })
+				n := len(fronts)
+				if len(backs) < n {
+					n = len(backs)
+				}
+				for i := 0; i < n; i++ {
+					d[cf.frontOwner[pi][fronts[i]]][cf.backOwner[pi][backs[i]]]++
+				}
+			}
+			return d
+		}
+		cur := sample()
+		target := sample()
+		if err := cf.Wire(cur); err != nil {
+			return false
+		}
+		rep, err := cf.Rewire(target)
+		if err != nil {
+			t.Logf("seed %d: rewire failed: %v", seed, err)
+			return false
+		}
+		want := 0
+		for a := range target {
+			for s := range target[a] {
+				keep := cur[a][s]
+				if target[a][s] < keep {
+					keep = target[a][s]
+				}
+				want += target[a][s] - keep
+			}
+		}
+		if rep.JumperMoves != want {
+			t.Logf("seed %d: moves %d, optimal %d", seed, rep.JumperMoves, want)
+			return false
+		}
+		got := cf.Demand()
+		for a := range target {
+			for s := range target[a] {
+				if got[a][s] != target[a][s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for seed := uint64(0); seed < 300; seed++ {
+		if !trial(seed) {
+			t.Fatalf("seed %d failed", seed)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package lifecycle
+
+import (
+	"math/rand/v2"
+	"os"
+	"testing"
+)
+
+// TestStressDecomposition runs the feasible-instance sweep over a much
+// larger seed range. Skipped unless LIFECYCLE_STRESS=1 — it exists to
+// shake out rare repair-search gaps before releases.
+func TestStressDecomposition(t *testing.T) {
+	if os.Getenv("LIFECYCLE_STRESS") == "" {
+		t.Skip("set LIFECYCLE_STRESS=1 to run the 20k-seed sweep")
+	}
+	for seed := uint64(0); seed < 20000; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0x57e55))
+		aggs := 2 + int(rng.IntN(5))
+		spines := 2 + int(rng.IntN(4))
+		uplinks := spines * (1 + int(rng.IntN(3)))
+		panelPorts := 8 + int(rng.IntN(4))*8
+		cf, err := NewClosFabric(aggs, spines, uplinks, panelPorts)
+		if err != nil {
+			continue
+		}
+		demand := make([][]int, aggs)
+		for a := range demand {
+			demand[a] = make([]int, spines)
+		}
+		for pi, panel := range cf.Panels {
+			var fronts, backs []int
+			for f := 0; f < panel.Ports; f++ {
+				if cf.frontOwner[pi][f] != -1 {
+					fronts = append(fronts, f)
+				}
+				if cf.backOwner[pi][f] != -1 {
+					backs = append(backs, f)
+				}
+			}
+			rng.Shuffle(len(fronts), func(i, j int) { fronts[i], fronts[j] = fronts[j], fronts[i] })
+			rng.Shuffle(len(backs), func(i, j int) { backs[i], backs[j] = backs[j], backs[i] })
+			n := len(fronts)
+			if len(backs) < n {
+				n = len(backs)
+			}
+			n = rng.IntN(n + 1)
+			for i := 0; i < n; i++ {
+				demand[cf.frontOwner[pi][fronts[i]]][cf.backOwner[pi][backs[i]]]++
+			}
+		}
+		if err := cf.Wire(demand); err != nil {
+			t.Fatalf("seed %d (aggs=%d spines=%d up=%d ports=%d): %v",
+				seed, aggs, spines, uplinks, panelPorts, err)
+		}
+	}
+}

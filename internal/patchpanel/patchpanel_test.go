@@ -1,0 +1,202 @@
+package patchpanel
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectDisconnect(t *testing.T) {
+	d := New(PanelKind, "p1", 8, 0.5)
+	if err := d.Connect(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.BackOf(0); got != 3 {
+		t.Errorf("BackOf(0) = %d, want 3", got)
+	}
+	if got := d.FrontOf(3); got != 0 {
+		t.Errorf("FrontOf(3) = %d, want 0", got)
+	}
+	if err := d.Connect(0, 4); err == nil {
+		t.Error("double-connect of front accepted")
+	}
+	if err := d.Connect(5, 3); err == nil {
+		t.Error("double-connect of back accepted")
+	}
+	b, err := d.Disconnect(0)
+	if err != nil || b != 3 {
+		t.Errorf("Disconnect = (%d, %v), want (3, nil)", b, err)
+	}
+	if _, err := d.Disconnect(0); err == nil {
+		t.Error("disconnect of free port accepted")
+	}
+	if d.Connected() != 0 {
+		t.Errorf("Connected = %d, want 0", d.Connected())
+	}
+}
+
+func TestPortRangeChecks(t *testing.T) {
+	d := New(OCSKind, "ocs1", 4, 1.0)
+	if err := d.Connect(-1, 0); err == nil {
+		t.Error("negative port accepted")
+	}
+	if err := d.Connect(0, 4); err == nil {
+		t.Error("out-of-range back accepted")
+	}
+}
+
+func TestPlanReconfigureIdentityIsEmpty(t *testing.T) {
+	d := New(PanelKind, "p", 4, 0.5)
+	mustConnect(t, d, 0, 1)
+	mustConnect(t, d, 1, 0)
+	plan, err := d.PlanReconfigure(d.Mapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 0 || plan.Moves != 0 || plan.Parks != 0 {
+		t.Errorf("identity plan not empty: %+v", plan)
+	}
+}
+
+func TestPlanReconfigureSimpleMove(t *testing.T) {
+	d := New(PanelKind, "p", 4, 0.5)
+	mustConnect(t, d, 0, 0)
+	target := d.Mapping()
+	target[0] = 2
+	plan, err := d.PlanReconfigure(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Moves != 1 || plan.Parks != 0 {
+		t.Errorf("moves = %d parks = %d, want 1, 0", plan.Moves, plan.Parks)
+	}
+	if err := d.Apply(plan); err != nil {
+		t.Fatal(err)
+	}
+	if d.BackOf(0) != 2 {
+		t.Errorf("after apply, BackOf(0) = %d, want 2", d.BackOf(0))
+	}
+}
+
+func TestPlanReconfigureCycleNeedsPark(t *testing.T) {
+	// fronts 0,1 swap their backs: a 2-cycle, needs one park.
+	d := New(PanelKind, "p", 4, 0.5)
+	mustConnect(t, d, 0, 0)
+	mustConnect(t, d, 1, 1)
+	target := []int{1, 0, -1, -1}
+	plan, err := d.PlanReconfigure(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Moves != 2 {
+		t.Errorf("moves = %d, want 2", plan.Moves)
+	}
+	if plan.Parks != 1 {
+		t.Errorf("parks = %d, want 1", plan.Parks)
+	}
+	if err := d.Apply(plan); err != nil {
+		t.Fatal(err)
+	}
+	if d.BackOf(0) != 1 || d.BackOf(1) != 0 {
+		t.Errorf("swap failed: %v", d.Mapping())
+	}
+}
+
+func TestPlanReconfigureToEmpty(t *testing.T) {
+	d := New(PanelKind, "p", 4, 0.5)
+	mustConnect(t, d, 0, 0)
+	mustConnect(t, d, 2, 3)
+	plan, err := d.PlanReconfigure([]int{-1, -1, -1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Apply(plan); err != nil {
+		t.Fatal(err)
+	}
+	if d.Connected() != 0 {
+		t.Errorf("device not emptied: %v", d.Mapping())
+	}
+	if plan.Moves != 0 {
+		t.Errorf("disconnect-only plan counted %d moves", plan.Moves)
+	}
+}
+
+func TestPlanReconfigureRejectsBadTargets(t *testing.T) {
+	d := New(PanelKind, "p", 4, 0.5)
+	if _, err := d.PlanReconfigure([]int{0, 0, -1, -1}); err == nil {
+		t.Error("duplicate back target accepted")
+	}
+	if _, err := d.PlanReconfigure([]int{9, -1, -1, -1}); err == nil {
+		t.Error("out-of-range back target accepted")
+	}
+	if _, err := d.PlanReconfigure([]int{0}); err == nil {
+		t.Error("short target accepted")
+	}
+}
+
+func mustConnect(t *testing.T, d *Device, f, b int) {
+	t.Helper()
+	if err := d.Connect(f, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random current and target mappings, the plan applies
+// cleanly and the device ends exactly at the target; moves equals the
+// number of fronts whose target back differs and is not -1.
+func TestQuickPlanReachesTarget(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		n := 3 + int(rng.IntN(8))
+		d := New(PanelKind, "q", n, 0.5)
+		// Random partial current mapping.
+		perm := rng.Perm(n)
+		for fp := 0; fp < n; fp++ {
+			if rng.IntN(2) == 0 {
+				if err := d.Connect(fp, perm[fp]); err != nil {
+					return false
+				}
+			}
+		}
+		// Random partial target mapping.
+		perm2 := rng.Perm(n)
+		target := make([]int, n)
+		wantMoves, wantNew := 0, 0
+		for fp := 0; fp < n; fp++ {
+			if rng.IntN(2) == 0 {
+				target[fp] = perm2[fp]
+			} else {
+				target[fp] = -1
+			}
+		}
+		for fp := 0; fp < n; fp++ {
+			if d.BackOf(fp) == target[fp] || target[fp] == -1 {
+				continue
+			}
+			if d.BackOf(fp) == -1 {
+				wantNew++
+			} else {
+				wantMoves++
+			}
+		}
+		plan, err := d.PlanReconfigure(target)
+		if err != nil {
+			return false
+		}
+		if plan.Moves != wantMoves || plan.NewConnects != wantNew {
+			return false
+		}
+		if err := d.Apply(plan); err != nil {
+			return false
+		}
+		for fp := 0; fp < n; fp++ {
+			if d.BackOf(fp) != target[fp] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package placement
+
+import (
+	"math/rand/v2"
+
+	"physdep/internal/solver"
+	"physdep/internal/units"
+)
+
+// annealState adapts a Placement to solver.Annealable. Moves swap the
+// floor slots of two logical racks, or relocate a rack to a free slot;
+// the objective is total cable length in meters.
+type annealState struct {
+	p           *Placement
+	edgesOfRack [][]int // live edge IDs incident to each logical rack
+	freeSlots   []int
+}
+
+func newAnnealState(p *Placement) *annealState {
+	s := &annealState{p: p, edgesOfRack: make([][]int, p.NumRacks())}
+	for _, e := range p.Topo.Edges {
+		if e.U == -1 {
+			continue
+		}
+		ra, rb := p.RackOfSwitch[e.U], p.RackOfSwitch[e.V]
+		if ra == rb {
+			continue // intra-rack cables have fixed length; irrelevant to moves
+		}
+		s.edgesOfRack[ra] = append(s.edgesOfRack[ra], e.ID)
+		s.edgesOfRack[rb] = append(s.edgesOfRack[rb], e.ID)
+	}
+	for slot, used := range p.slotUsed {
+		if !used {
+			s.freeSlots = append(s.freeSlots, slot)
+		}
+	}
+	return s
+}
+
+// lengthOfEdges sums current route lengths of the given edge IDs,
+// counting each edge once even if listed twice (both endpoints moved).
+func (s *annealState) lengthOfEdges(ids map[int]bool) units.Meters {
+	var total units.Meters
+	for id := range ids {
+		total += s.p.EdgeRoute(id).Length
+	}
+	return total
+}
+
+func (s *annealState) affectedEdges(racks ...int) map[int]bool {
+	ids := map[int]bool{}
+	for _, r := range racks {
+		for _, id := range s.edgesOfRack[r] {
+			ids[id] = true
+		}
+	}
+	return ids
+}
+
+// Propose implements solver.Annealable.
+func (s *annealState) Propose(rng *rand.Rand) (float64, func(), bool) {
+	p := s.p
+	if p.NumRacks() < 2 {
+		return 0, nil, false
+	}
+	ra := rng.IntN(p.NumRacks())
+	moveToFree := len(s.freeSlots) > 0 && rng.IntN(4) == 0
+	if moveToFree {
+		fi := rng.IntN(len(s.freeSlots))
+		newSlot := s.freeSlots[fi]
+		oldSlot := p.SlotOfRack[ra]
+		ids := s.affectedEdges(ra)
+		before := s.lengthOfEdges(ids)
+		p.SlotOfRack[ra] = newSlot
+		after := s.lengthOfEdges(ids)
+		p.SlotOfRack[ra] = oldSlot
+		delta := float64(after - before)
+		return delta, func() {
+			p.SlotOfRack[ra] = newSlot
+			p.slotUsed[oldSlot] = false
+			p.slotUsed[newSlot] = true
+			s.freeSlots[fi] = oldSlot
+			ru := p.Floor.UsedRU(oldSlot)
+			p.Floor.ReleaseRU(oldSlot, ru)
+			if err := p.Floor.ReserveRU(newSlot, ru); err != nil {
+				panic(err) // free slot must have capacity: invariant breach
+			}
+		}, true
+	}
+	rb := rng.IntN(p.NumRacks())
+	if rb == ra {
+		return 0, nil, false
+	}
+	ids := s.affectedEdges(ra, rb)
+	before := s.lengthOfEdges(ids)
+	p.SlotOfRack[ra], p.SlotOfRack[rb] = p.SlotOfRack[rb], p.SlotOfRack[ra]
+	after := s.lengthOfEdges(ids)
+	p.SlotOfRack[ra], p.SlotOfRack[rb] = p.SlotOfRack[rb], p.SlotOfRack[ra]
+	delta := float64(after - before)
+	return delta, func() {
+		// Swap slots and their RU bookkeeping wholesale.
+		sa, sb := p.SlotOfRack[ra], p.SlotOfRack[rb]
+		rua, rub := p.Floor.UsedRU(sa), p.Floor.UsedRU(sb)
+		p.Floor.ReleaseRU(sa, rua)
+		p.Floor.ReleaseRU(sb, rub)
+		if err := p.Floor.ReserveRU(sa, rub); err != nil {
+			panic(err)
+		}
+		if err := p.Floor.ReserveRU(sb, rua); err != nil {
+			panic(err)
+		}
+		p.SlotOfRack[ra], p.SlotOfRack[rb] = sb, sa
+	}, true
+}
+
+// Optimize improves the placement by simulated annealing, returning the
+// cable-length before and after. The placement is modified in place.
+func Optimize(p *Placement, steps int, seed uint64) (before, after units.Meters) {
+	before = p.CableLength()
+	st := newAnnealState(p)
+	cfg := solver.AnnealConfig{Steps: steps, T0: float64(before) / 200, T1: 0.05, Seed: seed}
+	if cfg.T0 <= cfg.T1 {
+		cfg.T0 = cfg.T1 * 10
+	}
+	solver.Anneal(st, cfg)
+	return before, p.CableLength()
+}
+
+// HillClimbOptimize is the zero-temperature ablation baseline.
+func HillClimbOptimize(p *Placement, steps int, seed uint64) (before, after units.Meters) {
+	before = p.CableLength()
+	st := newAnnealState(p)
+	solver.HillClimb(st, steps, seed)
+	return before, p.CableLength()
+}

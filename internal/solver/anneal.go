@@ -1,0 +1,99 @@
+// Package solver is physdep's in-repo optimization toolkit. The paper
+// (§5.4) notes that many network-design decisions are "complex enough to
+// require ILP or similar solvers"; with no external solver available, this
+// package supplies the pieces the rest of the repo needs: simulated
+// annealing for large placement/layout searches, the Hungarian algorithm
+// for exact min-cost assignment (minimal-rewiring instances reduce to it),
+// and an exact branch-and-bound for small 0/1 problems used to validate
+// the heuristics in ablations.
+package solver
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Annealable is a mutable optimization state that can propose local moves.
+// Propose returns the cost delta of a candidate move and a closure that
+// applies it; the framework decides acceptance. ok=false means no move was
+// available this step.
+type Annealable interface {
+	Propose(rng *rand.Rand) (delta float64, apply func(), ok bool)
+}
+
+// AnnealConfig tunes the schedule.
+type AnnealConfig struct {
+	Steps int     // proposals to evaluate
+	T0    float64 // initial temperature (in cost units)
+	T1    float64 // final temperature (> 0)
+	Seed  uint64
+}
+
+// DefaultAnnealConfig returns a schedule that works well for the
+// placement problems in this repo: temperatures spanning a couple of
+// orders of magnitude and enough steps to visit each decision variable
+// several times.
+func DefaultAnnealConfig(steps int) AnnealConfig {
+	return AnnealConfig{Steps: steps, T0: 100, T1: 0.1, Seed: 1}
+}
+
+// AnnealResult reports what the search did.
+type AnnealResult struct {
+	Accepted  int
+	Rejected  int
+	DeltaSum  float64 // net cost change applied (negative = improvement)
+	FinalTemp float64
+}
+
+// Anneal runs Metropolis simulated annealing with geometric cooling.
+// The state must start at a valid configuration; on return it holds the
+// final (not necessarily best-seen) configuration, which for monotone
+// final temperatures near zero is effectively the best found.
+func Anneal(a Annealable, cfg AnnealConfig) AnnealResult {
+	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa11ea1))
+	var res AnnealResult
+	if cfg.Steps <= 0 {
+		return res
+	}
+	t := cfg.T0
+	cool := 1.0
+	if cfg.Steps > 1 && cfg.T0 > 0 && cfg.T1 > 0 {
+		cool = math.Pow(cfg.T1/cfg.T0, 1/float64(cfg.Steps-1))
+	}
+	for i := 0; i < cfg.Steps; i++ {
+		delta, apply, ok := a.Propose(rng)
+		if ok {
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/t) {
+				apply()
+				res.Accepted++
+				res.DeltaSum += delta
+			} else {
+				res.Rejected++
+			}
+		}
+		t *= cool
+	}
+	res.FinalTemp = t
+	return res
+}
+
+// HillClimb is Anneal at zero temperature: only improving moves are
+// applied. Used as the ablation baseline against full annealing.
+func HillClimb(a Annealable, steps int, seed uint64) AnnealResult {
+	rng := rand.New(rand.NewPCG(seed, seed^0xc1a55))
+	var res AnnealResult
+	for i := 0; i < steps; i++ {
+		delta, apply, ok := a.Propose(rng)
+		if !ok {
+			continue
+		}
+		if delta < 0 {
+			apply()
+			res.Accepted++
+			res.DeltaSum += delta
+		} else {
+			res.Rejected++
+		}
+	}
+	return res
+}

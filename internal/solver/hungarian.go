@@ -1,0 +1,127 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// Assign solves the n×n min-cost assignment problem exactly using the
+// Jonker–Volgenant style shortest augmenting path formulation of the
+// Hungarian method, O(n³). cost[i][j] is the cost of assigning row i to
+// column j; +Inf forbids a pairing. It returns the column chosen for each
+// row and the total cost.
+//
+// Lifecycle uses this for exact minimal rewiring on panel-sized instances;
+// placement uses it to pin pods to rack groups.
+func Assign(cost [][]float64) (rowToCol []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, fmt.Errorf("solver: cost matrix not square: row %d has %d cols, want %d", i, len(row), n)
+		}
+	}
+	const inf = math.MaxFloat64
+	// 1-indexed internals per the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row assigned to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0, delta, j1 := p[j0], inf, -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				c := cost[i0-1][j-1]
+				if math.IsInf(c, 1) {
+					c = inf / 4 // forbidden: huge but finite so potentials stay sane
+				}
+				cur := c - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 == -1 {
+				return nil, 0, fmt.Errorf("solver: assignment infeasible")
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	rowToCol = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowToCol[p[j]-1] = j - 1
+		}
+	}
+	total = 0
+	for i, j := range rowToCol {
+		c := cost[i][j]
+		if math.IsInf(c, 1) {
+			return nil, 0, fmt.Errorf("solver: assignment forced a forbidden pairing (%d→%d)", i, j)
+		}
+		total += c
+	}
+	return rowToCol, total, nil
+}
+
+// AssignRect solves a rectangular assignment with rows ≤ cols by padding
+// with zero-cost dummy columns; every row gets a distinct real column.
+func AssignRect(cost [][]float64) (rowToCol []int, total float64, err error) {
+	r := len(cost)
+	if r == 0 {
+		return nil, 0, nil
+	}
+	c := len(cost[0])
+	if r > c {
+		return nil, 0, fmt.Errorf("solver: AssignRect needs rows (%d) <= cols (%d)", r, c)
+	}
+	sq := make([][]float64, c)
+	for i := range sq {
+		sq[i] = make([]float64, c)
+		if i < r {
+			copy(sq[i], cost[i])
+		}
+	}
+	all, _, err := Assign(sq)
+	if err != nil {
+		return nil, 0, err
+	}
+	rowToCol = all[:r]
+	for i, j := range rowToCol {
+		total += cost[i][j]
+	}
+	return rowToCol, total, nil
+}

@@ -1,0 +1,189 @@
+// Package topoeng implements block-level topology engineering over an
+// OCS layer, the capability the paper's §4.1 credits Jupiter Evolving
+// with: "replacing these patch panels with a relatively slow optical
+// circuit switch not only further eases expansions, but also supports
+// frequent changes to the capacity between aggregation blocks, to
+// respond to changing and uneven inter-block traffic demands."
+//
+// Given per-block uplink budgets and an inter-block demand matrix, the
+// engineer allocates integer trunk widths pair by pair (water-filling on
+// demand satisfaction), emits the reconfiguration delta between two
+// allocations (each unit is one OCS retarget), and builds the resulting
+// block-level topology for throughput evaluation.
+package topoeng
+
+import (
+	"fmt"
+
+	"physdep/internal/topology"
+	"physdep/internal/units"
+)
+
+// Allocation is a symmetric integer trunk-width matrix between blocks.
+type Allocation struct {
+	Blocks int
+	W      [][]int
+}
+
+// Used returns the uplinks block a has committed.
+func (al *Allocation) Used(a int) int {
+	u := 0
+	for b := range al.W[a] {
+		u += al.W[a][b]
+	}
+	return u
+}
+
+// Engineer computes a demand-aware allocation: every pair first gets
+// minWidth trunks (connectivity floor), then remaining uplinks are dealt
+// one at a time to the pair with the worst demand satisfaction
+// (max D[a][b]/W[a][b]), subject to both endpoints' budgets. demand must
+// be symmetric and non-negative; uplinksPer is the per-block budget.
+func Engineer(blocks, uplinksPer, minWidth int, demand [][]float64) (*Allocation, error) {
+	if blocks < 2 {
+		return nil, fmt.Errorf("topoeng: need >= 2 blocks")
+	}
+	if len(demand) != blocks {
+		return nil, fmt.Errorf("topoeng: demand is %d×?, want %d", len(demand), blocks)
+	}
+	if minWidth*(blocks-1) > uplinksPer {
+		return nil, fmt.Errorf("topoeng: connectivity floor %d×%d exceeds budget %d",
+			minWidth, blocks-1, uplinksPer)
+	}
+	for a := range demand {
+		if len(demand[a]) != blocks {
+			return nil, fmt.Errorf("topoeng: demand row %d has %d cols", a, len(demand[a]))
+		}
+		for b := range demand[a] {
+			if demand[a][b] < 0 {
+				return nil, fmt.Errorf("topoeng: negative demand [%d][%d]", a, b)
+			}
+			if demand[a][b] != demand[b][a] {
+				return nil, fmt.Errorf("topoeng: demand not symmetric at [%d][%d]", a, b)
+			}
+		}
+	}
+	al := &Allocation{Blocks: blocks, W: make([][]int, blocks)}
+	for a := range al.W {
+		al.W[a] = make([]int, blocks)
+		for b := range al.W[a] {
+			if a != b {
+				al.W[a][b] = minWidth
+			}
+		}
+	}
+	budget := make([]int, blocks)
+	for a := range budget {
+		budget[a] = uplinksPer - minWidth*(blocks-1)
+	}
+	// Water-fill: repeatedly satisfy the thirstiest pair.
+	for {
+		bestA, bestB, bestScore := -1, -1, 0.0
+		for a := 0; a < blocks; a++ {
+			if budget[a] == 0 {
+				continue
+			}
+			for b := a + 1; b < blocks; b++ {
+				if budget[b] == 0 || demand[a][b] == 0 {
+					continue
+				}
+				w := al.W[a][b]
+				score := demand[a][b] / float64(w+1) // satisfaction after one more link
+				if score > bestScore {
+					bestA, bestB, bestScore = a, b, score
+				}
+			}
+		}
+		if bestA == -1 {
+			break
+		}
+		al.W[bestA][bestB]++
+		al.W[bestB][bestA]++
+		budget[bestA]--
+		budget[bestB]--
+	}
+	return al, nil
+}
+
+// Uniform returns the demand-oblivious baseline: uplinks spread evenly
+// over peers (the same base mesh JupiterDirect builds).
+func Uniform(blocks, uplinksPer int) *Allocation {
+	al := &Allocation{Blocks: blocks, W: make([][]int, blocks)}
+	base := uplinksPer / (blocks - 1)
+	extra := uplinksPer % (blocks - 1)
+	budget := make([]int, blocks)
+	for a := range budget {
+		budget[a] = extra
+	}
+	for a := range al.W {
+		al.W[a] = make([]int, blocks)
+	}
+	for a := 0; a < blocks; a++ {
+		for b := a + 1; b < blocks; b++ {
+			w := base
+			if budget[a] > 0 && budget[b] > 0 {
+				w++
+				budget[a]--
+				budget[b]--
+			}
+			al.W[a][b] = w
+			al.W[b][a] = w
+		}
+	}
+	return al
+}
+
+// Retargets counts the OCS moves to go from allocation x to y:
+// Σ|x−y|/2 over unordered pairs (each unit moved is one fiber retarget
+// at the OCS — software-speed, per §5.1).
+func Retargets(x, y *Allocation) (int, error) {
+	if x.Blocks != y.Blocks {
+		return 0, fmt.Errorf("topoeng: allocations over %d vs %d blocks", x.Blocks, y.Blocks)
+	}
+	moves := 0
+	for a := 0; a < x.Blocks; a++ {
+		for b := a + 1; b < x.Blocks; b++ {
+			d := x.W[a][b] - y.W[a][b]
+			if d < 0 {
+				d = -d
+			}
+			moves += d
+		}
+	}
+	return moves, nil
+}
+
+// ReconfigMinutes prices a retarget count at the OCS software rate.
+func ReconfigMinutes(moves int, perMove units.Minutes) units.Minutes {
+	return units.Minutes(float64(perMove) * float64(moves))
+}
+
+// BuildTopology materializes an allocation as a block-level topology
+// (blocks as ToR-role nodes so the traffic simulator can evaluate it
+// directly). serverPorts is each block's server-facing capacity.
+func BuildTopology(al *Allocation, rate units.Gbps, serverPorts int) (*topology.Topology, error) {
+	t := topology.NewTopology(fmt.Sprintf("ocs-mesh-%d", al.Blocks))
+	total := 0
+	for a := 0; a < al.Blocks; a++ {
+		u := al.Used(a)
+		if u > total {
+			total = u
+		}
+	}
+	for a := 0; a < al.Blocks; a++ {
+		t.AddSwitch(topology.Node{Role: topology.RoleToR, Radix: total + serverPorts,
+			Rate: rate, ServerPorts: serverPorts, Pod: a,
+			Label: fmt.Sprintf("block-%d", a)})
+	}
+	for a := 0; a < al.Blocks; a++ {
+		for b := a + 1; b < al.Blocks; b++ {
+			for w := 0; w < al.W[a][b]; w++ {
+				t.Link(a, b)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

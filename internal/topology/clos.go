@@ -1,0 +1,139 @@
+package topology
+
+import (
+	"fmt"
+
+	"physdep/internal/units"
+)
+
+// FatTreeConfig parameterizes a classic 3-tier folded-Clos fat-tree
+// (Al-Fares et al.): k pods of k/2 edge (ToR) and k/2 aggregation
+// switches, with (k/2)² core switches; every switch has radix k and the
+// network supports k³/4 servers at full bisection.
+type FatTreeConfig struct {
+	K    int        // switch radix; must be even and ≥ 2
+	Rate units.Gbps // uniform line rate
+}
+
+// FatTree builds the fat-tree described by cfg.
+func FatTree(cfg FatTreeConfig) (*Topology, error) {
+	k := cfg.K
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("fattree: K must be even and >= 2, got %d", k)
+	}
+	t := NewTopology(fmt.Sprintf("fattree-k%d", k))
+	half := k / 2
+	// Core switches: (k/2)² arranged in half groups of half.
+	core := make([]int, half*half)
+	for i := range core {
+		core[i] = t.AddSwitch(Node{Role: RoleCore, Radix: k, Rate: cfg.Rate, Pod: -1,
+			Label: fmt.Sprintf("core-%d", i)})
+	}
+	for p := 0; p < k; p++ {
+		aggs := make([]int, half)
+		for a := 0; a < half; a++ {
+			aggs[a] = t.AddSwitch(Node{Role: RoleAgg, Radix: k, Rate: cfg.Rate, Pod: p,
+				Label: fmt.Sprintf("agg-%d-%d", p, a)})
+			// Aggregation switch a in each pod connects to core group a
+			// (cores a*half .. a*half+half-1).
+			for c := 0; c < half; c++ {
+				t.Link(aggs[a], core[a*half+c])
+			}
+		}
+		for e := 0; e < half; e++ {
+			tor := t.AddSwitch(Node{Role: RoleToR, Radix: k, Rate: cfg.Rate, Pod: p,
+				ServerPorts: half, Label: fmt.Sprintf("tor-%d-%d", p, e)})
+			for _, a := range aggs {
+				t.Link(tor, a)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// LeafSpineConfig parameterizes a 2-tier leaf–spine fabric.
+type LeafSpineConfig struct {
+	Leaves        int // number of leaf (ToR) switches
+	Spines        int // number of spine switches
+	UplinksPerTor int // links from each leaf to the spine tier (spread round-robin)
+	ServerPorts   int // server ports per leaf
+	LeafRadix     int
+	SpineRadix    int
+	Rate          units.Gbps
+}
+
+// LeafSpine builds a leaf–spine fabric. Each leaf's uplinks are dealt
+// round-robin across spines, which yields the usual uniform striping when
+// UplinksPerTor is a multiple of Spines and a balanced partial striping
+// otherwise.
+func LeafSpine(cfg LeafSpineConfig) (*Topology, error) {
+	if cfg.Leaves <= 0 || cfg.Spines <= 0 || cfg.UplinksPerTor <= 0 {
+		return nil, fmt.Errorf("leafspine: Leaves, Spines, UplinksPerTor must be positive")
+	}
+	t := NewTopology(fmt.Sprintf("leafspine-%dx%d", cfg.Leaves, cfg.Spines))
+	spines := make([]int, cfg.Spines)
+	for s := range spines {
+		spines[s] = t.AddSwitch(Node{Role: RoleSpine, Radix: cfg.SpineRadix, Rate: cfg.Rate,
+			Pod: -1, Label: fmt.Sprintf("spine-%d", s)})
+	}
+	for l := 0; l < cfg.Leaves; l++ {
+		leaf := t.AddSwitch(Node{Role: RoleToR, Radix: cfg.LeafRadix, Rate: cfg.Rate,
+			ServerPorts: cfg.ServerPorts, Pod: l, Label: fmt.Sprintf("leaf-%d", l)})
+		for u := 0; u < cfg.UplinksPerTor; u++ {
+			t.Link(leaf, spines[(l+u)%cfg.Spines])
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// VL2Config parameterizes the VL2 fabric (Greenberg et al. SIGCOMM'09):
+// ToRs dual-home to aggregation switches; aggregation switches form a
+// complete bipartite graph with intermediate switches.
+type VL2Config struct {
+	DA          int // aggregation switch radix (ports toward intermediates and ToRs, split evenly)
+	DI          int // intermediate switch radix
+	ServerPorts int // server ports per ToR
+	Rate        units.Gbps
+}
+
+// VL2 builds the fabric: DI aggregation switches, DA/2 intermediate
+// switches, and DA·DI/4 ToRs, per the paper's sizing.
+func VL2(cfg VL2Config) (*Topology, error) {
+	if cfg.DA < 2 || cfg.DA%2 != 0 || cfg.DI < 2 || cfg.DI%2 != 0 {
+		return nil, fmt.Errorf("vl2: DA and DI must be even and >= 2")
+	}
+	t := NewTopology(fmt.Sprintf("vl2-da%d-di%d", cfg.DA, cfg.DI))
+	nAgg := cfg.DI
+	nInt := cfg.DA / 2
+	nToR := cfg.DA * cfg.DI / 4
+	ints := make([]int, nInt)
+	for i := range ints {
+		ints[i] = t.AddSwitch(Node{Role: RoleIntermediate, Radix: cfg.DI, Rate: cfg.Rate,
+			Pod: -1, Label: fmt.Sprintf("int-%d", i)})
+	}
+	aggs := make([]int, nAgg)
+	for a := range aggs {
+		aggs[a] = t.AddSwitch(Node{Role: RoleAgg, Radix: cfg.DA, Rate: cfg.Rate,
+			Pod: a, Label: fmt.Sprintf("agg-%d", a)})
+		for _, i := range ints {
+			t.Link(aggs[a], i)
+		}
+	}
+	for r := 0; r < nToR; r++ {
+		tor := t.AddSwitch(Node{Role: RoleToR, Radix: cfg.ServerPorts + 2, Rate: cfg.Rate,
+			ServerPorts: cfg.ServerPorts, Pod: r % nAgg, Label: fmt.Sprintf("tor-%d", r)})
+		// Dual-home to two consecutive aggregation switches.
+		t.Link(tor, aggs[(2*r)%nAgg])
+		t.Link(tor, aggs[(2*r+1)%nAgg])
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

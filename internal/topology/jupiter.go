@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"fmt"
+
+	"physdep/internal/units"
+)
+
+// JupiterConfig parameterizes a block-level model of Google's Jupiter
+// fabric for the §4.3 case study. Nodes are whole aggregation blocks and
+// spine blocks rather than individual switches: the fat-tree→direct-
+// connect conversion the paper describes operates at exactly this
+// granularity (moving trunk fibers between blocks at the OCS layer).
+type JupiterConfig struct {
+	AggBlocks   int        // number of aggregation blocks
+	SpineBlocks int        // number of spine blocks (spine variant only)
+	TrunkWidth  int        // parallel fibers per agg→spine trunk
+	UplinksPer  int        // total uplink fibers per aggregation block
+	ServerPorts int        // server-facing capacity per agg block (bookkeeping)
+	Rate        units.Gbps // per-fiber rate
+}
+
+// JupiterSpine builds the original Jupiter shape: every aggregation block
+// trunks to every spine block with TrunkWidth parallel fibers (all
+// physically routed through the OCS/patch layer). UplinksPer must equal
+// SpineBlocks·TrunkWidth.
+func JupiterSpine(cfg JupiterConfig) (*Topology, error) {
+	if cfg.AggBlocks < 2 || cfg.SpineBlocks < 1 || cfg.TrunkWidth < 1 {
+		return nil, fmt.Errorf("jupiter: need AggBlocks >= 2, SpineBlocks >= 1, TrunkWidth >= 1")
+	}
+	if cfg.UplinksPer != cfg.SpineBlocks*cfg.TrunkWidth {
+		return nil, fmt.Errorf("jupiter: UplinksPer (%d) must equal SpineBlocks*TrunkWidth (%d)",
+			cfg.UplinksPer, cfg.SpineBlocks*cfg.TrunkWidth)
+	}
+	t := NewTopology(fmt.Sprintf("jupiter-spine-a%d-s%d", cfg.AggBlocks, cfg.SpineBlocks))
+	aggs := make([]int, cfg.AggBlocks)
+	for a := range aggs {
+		aggs[a] = t.AddSwitch(Node{Role: RoleAgg, Radix: cfg.UplinksPer + cfg.ServerPorts,
+			Rate: cfg.Rate, ServerPorts: cfg.ServerPorts, Pod: a,
+			Label: fmt.Sprintf("agg-%d", a)})
+	}
+	for s := 0; s < cfg.SpineBlocks; s++ {
+		spine := t.AddSwitch(Node{Role: RoleSpine, Radix: cfg.AggBlocks * cfg.TrunkWidth,
+			Rate: cfg.Rate, Pod: -1, Label: fmt.Sprintf("spine-%d", s)})
+		for _, a := range aggs {
+			for w := 0; w < cfg.TrunkWidth; w++ {
+				t.Link(a, spine)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// JupiterDirect builds the evolved, spine-free Jupiter: aggregation
+// blocks are directly meshed through the OCS layer. Each ordered pair of
+// blocks gets ⌊UplinksPer/(AggBlocks−1)⌋ fibers, and leftover uplinks are
+// distributed to the lexicographically first peers, mirroring the uniform
+// base mesh that topology engineering then skews toward demand.
+func JupiterDirect(cfg JupiterConfig) (*Topology, error) {
+	if cfg.AggBlocks < 2 {
+		return nil, fmt.Errorf("jupiter: need AggBlocks >= 2")
+	}
+	n := cfg.AggBlocks
+	t := NewTopology(fmt.Sprintf("jupiter-direct-a%d", n))
+	for a := 0; a < n; a++ {
+		t.AddSwitch(Node{Role: RoleAgg, Radix: cfg.UplinksPer + cfg.ServerPorts,
+			Rate: cfg.Rate, ServerPorts: cfg.ServerPorts, Pod: a,
+			Label: fmt.Sprintf("agg-%d", a)})
+	}
+	base := cfg.UplinksPer / (n - 1)
+	extra := cfg.UplinksPer % (n - 1)
+	// Pair (a, b), a < b: width = base, plus 1 while both sides have
+	// leftover budget. Distribute extras to the earliest pairs of each
+	// node, tracking per-node extra budget so no node exceeds UplinksPer.
+	budget := make([]int, n)
+	for a := range budget {
+		budget[a] = extra
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			w := base
+			if budget[a] > 0 && budget[b] > 0 {
+				w++
+				budget[a]--
+				budget[b]--
+			}
+			for i := 0; i < w; i++ {
+				t.Link(a, b)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

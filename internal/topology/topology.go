@@ -1,0 +1,173 @@
+// Package topology builds the datacenter network topologies that the
+// physical-deployability debate is about: folded-Clos fat-trees,
+// leaf–spine, VL2, the expander family (Jellyfish, Xpander, Slim Fly),
+// flattened butterfly, FatClique, and Jupiter-style aggregation-block
+// fabrics with either spine blocks or OCS direct-connect.
+//
+// A Topology is a graph whose nodes are switches (servers are implicit:
+// each ToR records how many server-facing ports it reserves), annotated
+// with enough physical detail — role, radix, line rate — for the
+// placement, cabling, and cost layers to do their work.
+package topology
+
+import (
+	"fmt"
+
+	"physdep/internal/graph"
+	"physdep/internal/units"
+)
+
+// Role classifies a switch's tier. Placement and cabling use roles to
+// group switches into racks and to decide which links are intra-rack.
+type Role int
+
+const (
+	RoleToR Role = iota
+	RoleAgg
+	RoleSpine
+	RoleCore
+	RoleIntermediate // VL2's intermediate tier / Jupiter transit blocks
+)
+
+var roleNames = [...]string{"tor", "agg", "spine", "core", "intermediate"}
+
+func (r Role) String() string {
+	if int(r) < len(roleNames) {
+		return roleNames[r]
+	}
+	return fmt.Sprintf("role(%d)", int(r))
+}
+
+// Node is one switch.
+type Node struct {
+	ID          int
+	Role        Role
+	Radix       int        // total ports on the switch
+	Rate        units.Gbps // per-port line rate
+	ServerPorts int        // ports reserved for servers (ToRs only)
+	Pod         int        // pod / block index, -1 if not applicable
+	Label       string
+}
+
+// Topology is a switch-level network graph plus per-switch metadata.
+type Topology struct {
+	*graph.Graph
+	Name  string
+	Nodes []Node
+}
+
+// NewTopology returns an empty named topology.
+func NewTopology(name string) *Topology {
+	return &Topology{Graph: graph.New(0), Name: name}
+}
+
+// AddSwitch appends a switch and returns its node ID.
+func (t *Topology) AddSwitch(n Node) int {
+	id := t.Graph.AddNode()
+	n.ID = id
+	t.Nodes = append(t.Nodes, n)
+	return id
+}
+
+// Link connects two switches with a single cable of the lower of the two
+// endpoint rates (you can't run a link faster than its slower port).
+func (t *Topology) Link(u, v int) int {
+	rate := t.Nodes[u].Rate
+	if t.Nodes[v].Rate < rate {
+		rate = t.Nodes[v].Rate
+	}
+	return t.Graph.AddEdge(u, v, float64(rate))
+}
+
+// CloneTopology deep-copies the topology (graph and node metadata) so
+// failure experiments can remove links without touching the original.
+func (t *Topology) CloneTopology() *Topology {
+	return &Topology{
+		Graph: t.Graph.Clone(),
+		Name:  t.Name,
+		Nodes: append([]Node(nil), t.Nodes...),
+	}
+}
+
+// ToRs returns the IDs of all ToR switches in ascending order.
+func (t *Topology) ToRs() []int {
+	var out []int
+	for _, n := range t.Nodes {
+		if n.Role == RoleToR {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// SwitchesByRole returns IDs of switches with the given role, ascending.
+func (t *Topology) SwitchesByRole(r Role) []int {
+	var out []int
+	for _, n := range t.Nodes {
+		if n.Role == r {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Servers returns the total number of server ports across all ToRs — the
+// "equal server count" axis every cross-topology comparison normalizes on.
+func (t *Topology) Servers() int {
+	s := 0
+	for _, n := range t.Nodes {
+		s += n.ServerPorts
+	}
+	return s
+}
+
+// NumSwitches returns the switch count.
+func (t *Topology) NumSwitches() int { return len(t.Nodes) }
+
+// Validate checks structural invariants: every switch's used ports
+// (network degree + server ports) fit its radix, edge endpoints exist, and
+// the fabric is connected. Generators call this before returning.
+func (t *Topology) Validate() error {
+	for _, n := range t.Nodes {
+		used := t.Degree(n.ID) + n.ServerPorts
+		if used > n.Radix {
+			return fmt.Errorf("topology %s: switch %d (%s %q) uses %d ports but radix is %d",
+				t.Name, n.ID, n.Role, n.Label, used, n.Radix)
+		}
+	}
+	if t.N > 0 && !t.Connected() {
+		return fmt.Errorf("topology %s: fabric is not connected", t.Name)
+	}
+	return nil
+}
+
+// FreePorts returns the unused ports on switch id.
+func (t *Topology) FreePorts(id int) int {
+	n := t.Nodes[id]
+	return n.Radix - t.Degree(id) - n.ServerPorts
+}
+
+// Stats bundles the abstract "goodness" numbers research papers report —
+// the properties the paper says must be weighed against physical cost.
+type Stats struct {
+	Switches  int
+	Links     int
+	Servers   int
+	ToRDiam   int     // diameter over ToR pairs
+	ToRMean   float64 // mean ToR-to-ToR hop count
+	BisectGB  float64 // heuristic bisection capacity (Gbps)
+	Expansion float64 // spectral gap estimate, if computed (else 0)
+}
+
+// BasicStats computes switch/link/server counts and ToR path statistics.
+// Bisection and expansion are left to callers because they need a PRNG.
+func (t *Topology) BasicStats() Stats {
+	ps := t.AllPairsStats(t.ToRs())
+	return Stats{
+		Switches: t.NumSwitches(),
+		Links:    t.NumEdges(),
+		Servers:  t.Servers(),
+		ToRDiam:  ps.Diameter,
+		ToRMean:  ps.MeanHops,
+	}
+}

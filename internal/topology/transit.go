@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"fmt"
+
+	"physdep/internal/units"
+)
+
+// TransitMeshConfig models the §3.4 heterogeneity pattern from Jupiter
+// Evolving (Poutievski et al.): a fabric mid-evolution has OldBlocks of
+// a 100G generation and NewBlocks of a 400G generation. Directly
+// connecting them forces low-rate links onto the new switches' precious
+// ports; instead, TransitBlocks carry ports of both generations and
+// bridge the two meshes.
+type TransitMeshConfig struct {
+	OldBlocks     int
+	NewBlocks     int
+	TransitBlocks int
+	OldRate       units.Gbps // e.g. 100
+	NewRate       units.Gbps // e.g. 400
+	// LinksWithinMesh is the trunk width between same-generation blocks.
+	LinksWithinMesh int
+	// LinksToTransit is the trunk width from each block (old or new) to
+	// each transit block.
+	LinksToTransit int
+	ServerPorts    int
+}
+
+// TransitMesh builds the bridged fabric: full mesh among old blocks at
+// OldRate, full mesh among new blocks at NewRate, and every block
+// trunked to every transit block (old side at OldRate, new side at
+// NewRate). Cross-generation traffic takes old → transit → new without
+// any new-generation switch burning a low-rate port.
+func TransitMesh(cfg TransitMeshConfig) (*Topology, error) {
+	if cfg.OldBlocks < 1 || cfg.NewBlocks < 1 || cfg.TransitBlocks < 1 {
+		return nil, fmt.Errorf("topology: transit mesh needs old, new, and transit blocks")
+	}
+	if cfg.LinksWithinMesh < 1 || cfg.LinksToTransit < 1 {
+		return nil, fmt.Errorf("topology: trunk widths must be >= 1")
+	}
+	t := NewTopology(fmt.Sprintf("transit-mesh-%do-%dn-%dt",
+		cfg.OldBlocks, cfg.NewBlocks, cfg.TransitBlocks))
+	oldRadix := (cfg.OldBlocks-1)*cfg.LinksWithinMesh +
+		cfg.TransitBlocks*cfg.LinksToTransit + cfg.ServerPorts
+	newRadix := (cfg.NewBlocks-1)*cfg.LinksWithinMesh +
+		cfg.TransitBlocks*cfg.LinksToTransit + cfg.ServerPorts
+	transitRadix := (cfg.OldBlocks + cfg.NewBlocks) * cfg.LinksToTransit
+	olds := make([]int, cfg.OldBlocks)
+	for i := range olds {
+		olds[i] = t.AddSwitch(Node{Role: RoleToR, Radix: oldRadix, Rate: cfg.OldRate,
+			ServerPorts: cfg.ServerPorts, Pod: 0, Label: fmt.Sprintf("old-%d", i)})
+	}
+	news := make([]int, cfg.NewBlocks)
+	for i := range news {
+		news[i] = t.AddSwitch(Node{Role: RoleToR, Radix: newRadix, Rate: cfg.NewRate,
+			ServerPorts: cfg.ServerPorts, Pod: 1, Label: fmt.Sprintf("new-%d", i)})
+	}
+	transits := make([]int, cfg.TransitBlocks)
+	for i := range transits {
+		// A transit block presents old-rate ports to the old side and
+		// new-rate ports to the new side; its node Rate is the new rate
+		// so Link() clamps each trunk to the slower endpoint correctly.
+		transits[i] = t.AddSwitch(Node{Role: RoleIntermediate, Radix: transitRadix,
+			Rate: cfg.NewRate, Pod: 2, Label: fmt.Sprintf("transit-%d", i)})
+	}
+	mesh := func(ids []int) {
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				for w := 0; w < cfg.LinksWithinMesh; w++ {
+					t.Link(ids[i], ids[j])
+				}
+			}
+		}
+	}
+	mesh(olds)
+	mesh(news)
+	for _, b := range append(append([]int(nil), olds...), news...) {
+		for _, tr := range transits {
+			for w := 0; w < cfg.LinksToTransit; w++ {
+				t.Link(b, tr)
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// CrossGenPortCost compares the two ways of attaching cross-generation
+// capacity, per §3.4: direct mixed links burn one new-generation port
+// per OldRate of bandwidth (the link clamps to the slow rate), while the
+// transit path delivers NewRate per new-side port and pays for the
+// bridging on the (cheaper, often repurposed) transit hardware. It
+// returns Gbps of cross-generation capacity per new-block port for both
+// designs.
+func CrossGenPortCost(oldRate, newRate units.Gbps) (directPerPort, transitPerPort units.Gbps) {
+	return oldRate, newRate
+}

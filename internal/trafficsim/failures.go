@@ -1,0 +1,90 @@
+package trafficsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"physdep/internal/topology"
+)
+
+// DegradationPoint is the throughput of a fabric after losing a fraction
+// of its links, averaged over failure samples.
+type DegradationPoint struct {
+	FailFrac     float64
+	MeanAlpha    float64
+	MinAlpha     float64
+	Disconnected int // trials where some ToR pair became unreachable
+}
+
+// FailureDegradation removes ⌈frac·links⌉ uniformly random links, reruns
+// the throughput model (KSP when useKSP, else ECMP), and aggregates over
+// trials — §3.3's "mitigation techniques generally cannot tolerate large
+// numbers of concurrent failures" made measurable. Trials where the ToR
+// set disconnects score α = 0 and are counted.
+func FailureDegradation(t *topology.Topology, m Matrix, fracs []float64,
+	trials int, useKSP bool, seed uint64) ([]DegradationPoint, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("trafficsim: trials must be >= 1")
+	}
+	var live []int
+	for _, e := range t.Edges {
+		if e.U != -1 {
+			live = append(live, e.ID)
+		}
+	}
+	var out []DegradationPoint
+	for _, frac := range fracs {
+		if frac < 0 || frac >= 1 {
+			return nil, fmt.Errorf("trafficsim: failure fraction %v out of [0,1)", frac)
+		}
+		kill := int(frac*float64(len(live)) + 0.5)
+		pt := DegradationPoint{FailFrac: frac, MinAlpha: -1}
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewPCG(seed, uint64(trial)<<16|uint64(kill)))
+			c := t.CloneTopology()
+			perm := rng.Perm(len(live))
+			for i := 0; i < kill; i++ {
+				c.RemoveEdge(live[perm[i]])
+			}
+			alpha := 0.0
+			if torsConnected(c) {
+				var err error
+				if useKSP {
+					alpha, err = KSPThroughput(c, m, DefaultKSP())
+				} else {
+					alpha, err = ECMPThroughput(c, m)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("trafficsim: degraded trial %d at %v: %w", trial, frac, err)
+				}
+			} else {
+				pt.Disconnected++
+			}
+			pt.MeanAlpha += alpha
+			if pt.MinAlpha < 0 || alpha < pt.MinAlpha {
+				pt.MinAlpha = alpha
+			}
+		}
+		pt.MeanAlpha /= float64(trials)
+		if pt.MinAlpha < 0 {
+			pt.MinAlpha = 0
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// torsConnected reports whether every ToR can reach every other ToR.
+func torsConnected(t *topology.Topology) bool {
+	tors := t.ToRs()
+	if len(tors) < 2 {
+		return true
+	}
+	dist := t.BFS(tors[0])
+	for _, v := range tors[1:] {
+		if dist[v] == -1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,172 @@
+package trafficsim
+
+import (
+	"fmt"
+
+	"physdep/internal/graph"
+	"physdep/internal/topology"
+)
+
+// KSPConfig tunes k-shortest-paths routing, the scheme the Jellyfish
+// evaluation actually uses (plain ECMP is known to waste expander
+// capacity — Harsh et al.'s "Spineless Data Centers" point).
+type KSPConfig struct {
+	K     int // paths per pair (≤ K kept)
+	Slack int // extra hops allowed beyond the pair's shortest distance
+	// Chunks is the water-filling granularity: each pair's demand is
+	// placed in Chunks equal increments, each on the pair's currently
+	// least-loaded path. Higher is smoother and slower. Default 8.
+	Chunks int
+}
+
+// DefaultKSP mirrors the Jellyfish paper's 8-shortest-paths routing with
+// one hop of slack.
+func DefaultKSP() KSPConfig { return KSPConfig{K: 8, Slack: 1, Chunks: 8} }
+
+// kShortestNodePaths enumerates up to cfg.K node-distinct paths from src
+// to dst whose length is at most dist(src,dst)+cfg.Slack, as node
+// sequences. Parallel edges between two switches are one logical hop
+// here — they are capacity, not extra path diversity — and the router
+// spreads each hop's load across them evenly. The DFS is bounded by a
+// per-node distance-to-dst check, so the search never wanders.
+func kShortestNodePaths(g *graph.Graph, src, dst int, distTo []int, cfg KSPConfig) [][]int {
+	if distTo[src] < 0 {
+		return nil
+	}
+	var paths [][]int
+	seen := map[string]bool{}
+	cur := []int{src}
+	onPath := make([]bool, g.N)
+	// Rotate neighbor exploration per (src, dst) so different pairs keep
+	// different detour sets when K caps the enumeration — otherwise every
+	// pair's spill converges on the lowest-numbered intermediates and
+	// manufactures hot spots no real traffic-engineering scheme would
+	// produce.
+	rot := src*31 + dst*17
+	var dfs func(u, remaining int)
+	dfs = func(u, remaining int) {
+		if len(paths) >= cfg.K {
+			return
+		}
+		if u == dst {
+			sig := fmt.Sprint(cur)
+			if !seen[sig] {
+				seen[sig] = true
+				paths = append(paths, append([]int(nil), cur...))
+			}
+			return
+		}
+		onPath[u] = true
+		defer func() { onPath[u] = false }()
+		nbrs := g.Neighbors(u)
+		n := len(nbrs)
+		for i := 0; i < n; i++ {
+			w := nbrs[(i+rot)%n]
+			if onPath[w] || distTo[w] < 0 || distTo[w] > remaining-1 {
+				continue
+			}
+			cur = append(cur, w)
+			dfs(w, remaining-1)
+			cur = cur[:len(cur)-1]
+			if len(paths) >= cfg.K {
+				return
+			}
+		}
+	}
+	// Shortest paths take priority in the K budget: enumerate with zero
+	// slack first, widening only while quota remains. Otherwise a pair
+	// could fill its quota with detours and never learn its direct path.
+	for s := 0; s <= cfg.Slack && len(paths) < cfg.K; s++ {
+		dfs(src, distTo[src]+s)
+	}
+	return paths
+}
+
+// KSPThroughput routes M over up to K near-shortest node paths per pair
+// using greedy water-filling (each demand increment takes the path whose
+// bottleneck trunk stays coolest — the fluid analogue of MPTCP subflows
+// avoiding hot paths), splitting every hop's load evenly across its
+// parallel trunk members, and returns the scaling margin α, directly
+// comparable to ECMPThroughput. This is the fair way to evaluate
+// expander fabrics, which ECMP systematically under-serves.
+func KSPThroughput(t *topology.Topology, m Matrix, cfg KSPConfig) (float64, error) {
+	tors := t.ToRs()
+	if len(tors) != m.N {
+		return 0, fmt.Errorf("trafficsim: matrix is %d×%d but topology has %d ToRs", m.N, m.N, len(tors))
+	}
+	if cfg.K < 1 {
+		return 0, fmt.Errorf("trafficsim: KSP K must be >= 1")
+	}
+	if cfg.Chunks < 1 {
+		cfg.Chunks = 8
+	}
+	// hop is one logical link of a path: the directional load indices of
+	// its parallel trunk members.
+	type pairPaths struct {
+		demand float64
+		paths  [][][]int // path -> hop -> parallel dir indices
+	}
+	hopCache := map[[2]int][]int{}
+	hopDirs := func(u, v int) []int {
+		if dirs, ok := hopCache[[2]int{u, v}]; ok {
+			return dirs
+		}
+		var dirs []int
+		for _, id := range t.EdgesBetween(u, v) {
+			dirs = append(dirs, graph.DirLoad(id, t.Edges[id].U == u))
+		}
+		hopCache[[2]int{u, v}] = dirs
+		return dirs
+	}
+	var pairs []pairPaths
+	for j, dst := range tors {
+		distTo := t.BFS(dst)
+		for i, src := range tors {
+			d := m.D[i][j]
+			if d <= 0 || src == dst {
+				continue
+			}
+			raw := kShortestNodePaths(t.Graph, src, dst, distTo, cfg)
+			if len(raw) == 0 {
+				return 0, fmt.Errorf("trafficsim: no path %d→%d", src, dst)
+			}
+			pp := pairPaths{demand: d}
+			for _, nodes := range raw {
+				hops := make([][]int, 0, len(nodes)-1)
+				for k := 0; k+1 < len(nodes); k++ {
+					hops = append(hops, hopDirs(nodes[k], nodes[k+1]))
+				}
+				pp.paths = append(pp.paths, hops)
+			}
+			pairs = append(pairs, pp)
+		}
+	}
+	load := make([]float64, 2*len(t.Edges))
+	for c := 0; c < cfg.Chunks; c++ {
+		for _, pp := range pairs {
+			f := pp.demand / float64(cfg.Chunks)
+			best, bestCost := -1, 0.0
+			for k, hops := range pp.paths {
+				cost := 0.0
+				for _, dirs := range hops {
+					share := f / float64(len(dirs))
+					for _, di := range dirs {
+						if load[di]+share > cost {
+							cost = load[di] + share
+						}
+					}
+				}
+				if best == -1 || cost < bestCost {
+					best, bestCost = k, cost
+				}
+			}
+			for _, dirs := range pp.paths[best] {
+				share := f / float64(len(dirs))
+				for _, di := range dirs {
+					load[di] += share
+				}
+			}
+		}
+	}
+	return alphaFromDirectionalLoads(t, load)
+}

@@ -1,0 +1,206 @@
+// Package trafficsim evaluates the abstract "goodness" side of the
+// paper's tradeoff: how much traffic a topology carries. It provides
+// traffic-matrix generators (uniform, permutation, skewed/ML) and two
+// throughput proxies — a fluid ECMP scaling factor and a max-flow bound —
+// so E7 can plot throughput-won against deployability-paid.
+package trafficsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"physdep/internal/topology"
+)
+
+// Matrix is a demand matrix over the ToRs of a topology: D[i][j] is the
+// demand from ToR index i to ToR index j, in the same units as edge
+// capacities (Gbps).
+type Matrix struct {
+	N int
+	D [][]float64
+}
+
+// NewMatrix allocates an all-zero n×n matrix.
+func NewMatrix(n int) Matrix {
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	return Matrix{N: n, D: d}
+}
+
+// TotalDemand sums all entries.
+func (m Matrix) TotalDemand() float64 {
+	t := 0.0
+	for i := range m.D {
+		for j := range m.D[i] {
+			t += m.D[i][j]
+		}
+	}
+	return t
+}
+
+// Uniform returns the all-to-all matrix where every ToR sends egress/
+// (n−1) to every other ToR, egress total per ToR as given.
+func Uniform(n int, egress float64) Matrix {
+	m := NewMatrix(n)
+	if n < 2 {
+		return m
+	}
+	per := egress / float64(n-1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.D[i][j] = per
+			}
+		}
+	}
+	return m
+}
+
+// Permutation returns a random permutation matrix: each ToR sends its
+// whole egress to exactly one other ToR — the classic worst-ish case for
+// oversubscribed trees.
+func Permutation(n int, egress float64, seed uint64) Matrix {
+	m := NewMatrix(n)
+	if n < 2 {
+		return m
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e37))
+	// Random derangement by rejection (expected ≤ e tries).
+	for {
+		p := rng.Perm(n)
+		ok := true
+		for i, v := range p {
+			if v == i {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for i, v := range p {
+				m.D[i][v] = egress
+			}
+			return m
+		}
+	}
+}
+
+// Skewed models ML-style hot spots (§3.4: "shifting traffic demands, such
+// as those induced by large-scale machine learning"): hotFrac of ToRs
+// exchange hotShare of all traffic among themselves; the rest is uniform.
+func Skewed(n int, egress, hotFrac, hotShare float64, seed uint64) Matrix {
+	m := NewMatrix(n)
+	if n < 2 {
+		return m
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x5eed))
+	hot := map[int]bool{}
+	nHot := int(math.Max(2, hotFrac*float64(n)))
+	for _, i := range rng.Perm(n)[:nHot] {
+		hot[i] = true
+	}
+	total := egress * float64(n)
+	hotTotal := total * hotShare
+	coldTotal := total - hotTotal
+	hotPairs := nHot * (nHot - 1)
+	coldPairs := n*(n-1) - hotPairs
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if hot[i] && hot[j] {
+				m.D[i][j] = hotTotal / float64(hotPairs)
+			} else {
+				m.D[i][j] = coldTotal / float64(coldPairs)
+			}
+		}
+	}
+	return m
+}
+
+// ECMPThroughput returns the largest α such that α·M is routable through
+// t with fluid ECMP splitting on shortest paths, i.e. the min over links
+// of capacity/load when routing M. α ≥ 1 means the matrix fits.
+func ECMPThroughput(t *topology.Topology, m Matrix) (float64, error) {
+	tors := t.ToRs()
+	if len(tors) != m.N {
+		return 0, fmt.Errorf("trafficsim: matrix is %d×%d but topology has %d ToRs", m.N, m.N, len(tors))
+	}
+	load := make([]float64, 2*len(t.Edges))
+	for j, dst := range tors {
+		w := map[int]float64{}
+		for i, src := range tors {
+			if d := m.D[i][j]; d > 0 && src != dst {
+				w[src] = d
+			}
+		}
+		if len(w) == 0 {
+			continue
+		}
+		dl := t.ECMPLinkLoadsWeighted(w, dst)
+		for idx, l := range dl {
+			load[idx] += l
+		}
+	}
+	return alphaFromDirectionalLoads(t, load)
+}
+
+// alphaFromDirectionalLoads returns min over loaded directional links of
+// capacity/load — the uniform scaling margin.
+func alphaFromDirectionalLoads(t *topology.Topology, load []float64) (float64, error) {
+	alpha := math.Inf(1)
+	for _, e := range t.Edges {
+		if e.U == -1 {
+			continue
+		}
+		cap := e.Cap
+		if cap == 0 {
+			cap = 1
+		}
+		for dir := 0; dir < 2; dir++ {
+			if l := load[2*e.ID+dir]; l > 0 {
+				if r := cap / l; r < alpha {
+					alpha = r
+				}
+			}
+		}
+	}
+	if math.IsInf(alpha, 1) {
+		return 0, fmt.Errorf("trafficsim: no load was routed (empty matrix?)")
+	}
+	return alpha, nil
+}
+
+// MaxFlowPairBound averages the max-flow value over sampled ToR pairs —
+// an upper bound on per-pair throughput that ignores contention, used as
+// the ablation comparison against the ECMP proxy.
+func MaxFlowPairBound(t *topology.Topology, pairs int, seed uint64) (float64, error) {
+	tors := t.ToRs()
+	if len(tors) < 2 {
+		return 0, fmt.Errorf("trafficsim: need at least two ToRs")
+	}
+	rng := rand.New(rand.NewPCG(seed, seed|1))
+	sum := 0.0
+	for k := 0; k < pairs; k++ {
+		i := rng.IntN(len(tors))
+		j := rng.IntN(len(tors) - 1)
+		if j >= i {
+			j++
+		}
+		sum += t.MaxFlow(tors[i], tors[j])
+	}
+	return sum / float64(pairs), nil
+}
+
+// WorstLinkUtilization routes M at scale 1 and reports the maximum
+// load/capacity over links — the congestion hot-spot view.
+func WorstLinkUtilization(t *topology.Topology, m Matrix) (float64, error) {
+	alpha, err := ECMPThroughput(t, m)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / alpha, nil
+}

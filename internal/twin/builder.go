@@ -1,0 +1,131 @@
+package twin
+
+import (
+	"fmt"
+
+	"physdep/internal/cabling"
+	"physdep/internal/placement"
+	"physdep/internal/topology"
+)
+
+// FromNetwork builds a twin from a placed, cable-planned network: the
+// hall, racks (with RU and plenum attributes from the floorplan),
+// switches, cables with their media geometry, bundles, and tray segments
+// with routed-through relations. This is the handoff the paper wants —
+// design artifacts flowing into a model that physics rules can interrogate
+// before anything is built.
+func FromNetwork(p *placement.Placement, plan *cabling.Plan) (*Model, error) {
+	m := NewModel()
+	f := p.Floor
+	hall := &Entity{ID: "hall", Kind: KindHall, Attrs: map[string]float64{
+		"rows": float64(f.Rows), "racks_per_row": float64(f.RacksPerRow),
+	}}
+	if err := m.Add(hall); err != nil {
+		return nil, err
+	}
+	if err := m.Add(&Entity{ID: "door-main", Kind: KindDoor, Attrs: map[string]float64{
+		"width_m": float64(f.DoorWidth),
+	}}); err != nil {
+		return nil, err
+	}
+	// Racks: only slots in use.
+	rackID := func(slot int) string { return fmt.Sprintf("rack-%d", slot) }
+	added := map[int]bool{}
+	for r := 0; r < p.NumRacks(); r++ {
+		slot := p.SlotOfRack[r]
+		if added[slot] {
+			continue
+		}
+		added[slot] = true
+		if err := m.Add(&Entity{ID: rackID(slot), Kind: KindRack, Attrs: map[string]float64{
+			"ru_capacity": float64(f.RackUnits),
+			"plenum_mm2":  float64(f.PlenumCapacity),
+			"width_m":     float64(f.RackWidth),
+		}}); err != nil {
+			return nil, err
+		}
+		if err := m.Relate("hall", VerbContains, rackID(slot)); err != nil {
+			return nil, err
+		}
+	}
+	// Switches.
+	swID := func(sw int) string { return fmt.Sprintf("switch-%d", sw) }
+	for sw := 0; sw < p.Topo.N; sw++ {
+		n := p.Topo.Nodes[sw]
+		ru := 2.0
+		if n.Role != topology.RoleToR {
+			ru = 4.0
+		}
+		if err := m.Add(&Entity{ID: swID(sw), Kind: KindSwitch, Attrs: map[string]float64{
+			"radix": float64(n.Radix), "rate_gbps": float64(n.Rate),
+			"ru": ru, "power_w": 50 + 4*float64(n.Radix),
+		}}); err != nil {
+			return nil, err
+		}
+		slot := f.RackIndex(p.LocOfSwitch(sw))
+		if err := m.Relate(rackID(slot), VerbContains, swID(sw)); err != nil {
+			return nil, err
+		}
+	}
+	// Tray segments.
+	trayID := func(seg int) string { return fmt.Sprintf("tray-%d", seg) }
+	for seg := 0; seg < f.NumTraySegments(); seg++ {
+		if err := m.Add(&Entity{ID: trayID(seg), Kind: KindTray, Attrs: map[string]float64{
+			"capacity_mm2": float64(f.TrayCapacity),
+		}}); err != nil {
+			return nil, err
+		}
+	}
+	// Cables and bundles.
+	cableID := func(i int) string { return fmt.Sprintf("cable-%d", i) }
+	for i, c := range plan.Cables {
+		attrs := map[string]float64{
+			"length_m":       float64(c.Route.Length),
+			"diameter_mm":    float64(c.Spec.Diameter),
+			"bend_radius_mm": float64(c.Spec.BendRadius),
+			"rate_gbps":      float64(c.Spec.Rate),
+		}
+		if c.Spec.PanelCompatible() {
+			attrs["loss_budget_db"] = float64(c.Spec.LossBudget)
+		}
+		if err := m.Add(&Entity{ID: cableID(i), Kind: KindCable, Attrs: attrs}); err != nil {
+			return nil, err
+		}
+		e := p.Topo.Edges[c.Demand.ID]
+		if err := m.Relate(cableID(i), VerbConnects, swID(e.U)); err != nil {
+			return nil, err
+		}
+		if err := m.Relate(cableID(i), VerbConnects, swID(e.V)); err != nil {
+			return nil, err
+		}
+	}
+	for bi, b := range plan.Bundles {
+		if len(b.CableIdx) == 1 {
+			// Singletons route through trays directly.
+			ci := b.CableIdx[0]
+			for _, seg := range plan.Cables[ci].Route.Segments {
+				if err := m.Relate(cableID(ci), VerbRoutesThrough, trayID(seg)); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		bid := fmt.Sprintf("bundle-%d", bi)
+		if err := m.Add(&Entity{ID: bid, Kind: KindBundle, Attrs: map[string]float64{
+			"cross_section_mm2": float64(b.CrossSection),
+		}}); err != nil {
+			return nil, err
+		}
+		for _, ci := range b.CableIdx {
+			if err := m.Relate(bid, VerbContains, cableID(ci)); err != nil {
+				return nil, err
+			}
+		}
+		for _, seg := range b.Route.Segments {
+			if err := m.Relate(bid, VerbRoutesThrough, trayID(seg)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}

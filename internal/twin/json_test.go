@@ -1,0 +1,122 @@
+package twin
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func buildSmallModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	mustAdd(t, m, &Entity{ID: "r1", Kind: KindRack,
+		Attrs: map[string]float64{"ru_capacity": 42, "plenum_mm2": 60000, "width_m": 0.6}})
+	mustAdd(t, m, &Entity{ID: "s1", Kind: KindSwitch,
+		Attrs: map[string]float64{"radix": 32, "rate_gbps": 100, "ru": 2, "power_w": 150},
+		Tags:  map[string]string{"vendor": "acme"}})
+	mustRelate(t, m, "r1", VerbContains, "s1")
+	return m
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := buildSmallModel(t)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Model
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEntities() != 2 {
+		t.Fatalf("entities = %d", back.NumEntities())
+	}
+	if got := back.Related("r1", VerbContains); len(got) != 1 || got[0] != "s1" {
+		t.Errorf("relations lost: %v", got)
+	}
+	if v, _ := back.Entity("s1").Attr("radix"); v != 32 {
+		t.Errorf("attr lost: radix = %v", v)
+	}
+	if back.Entity("s1").Tags["vendor"] != "acme" {
+		t.Error("tags lost")
+	}
+	if diff := Diff(m, &back); !diff.Empty() {
+		t.Errorf("round trip diff: %+v", diff)
+	}
+}
+
+func TestUnmarshalRejectsCorruptDocuments(t *testing.T) {
+	var m Model
+	// Duplicate entity IDs.
+	dup := `{"entities":[{"ID":"x","Kind":"rack"},{"ID":"x","Kind":"rack"}],"relations":[]}`
+	if err := json.Unmarshal([]byte(dup), &m); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+	// Relation to a ghost.
+	ghost := `{"entities":[{"ID":"x","Kind":"rack"}],"relations":[{"From":"x","Verb":"contains","To":"ghost"}]}`
+	if err := json.Unmarshal([]byte(ghost), &m); err == nil {
+		t.Error("ghost relation accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"entities":[null]}`), &m); err == nil {
+		t.Error("null entity accepted")
+	}
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	m := buildSmallModel(t)
+	a, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("serialization not deterministic")
+	}
+	if !strings.Contains(string(a), `"entities"`) {
+		t.Errorf("unexpected shape: %s", a)
+	}
+}
+
+func TestFingerprintDetectsDrift(t *testing.T) {
+	m := buildSmallModel(t)
+	f1, err := m.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1) != 16 {
+		t.Fatalf("fingerprint %q", f1)
+	}
+	m.Entity("s1").Attrs["power_w"] = 151 // a mundane as-built error
+	f2, err := m.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 == f2 {
+		t.Error("fingerprint blind to attribute drift")
+	}
+}
+
+func TestDiffFindsMismatches(t *testing.T) {
+	a := buildSmallModel(t)
+	b := buildSmallModel(t)
+	// b: different attr, one extra entity; a: exclusive entity.
+	b.Entity("s1").Attrs["power_w"] = 999
+	mustAdd(t, b, &Entity{ID: "s2", Kind: KindSwitch})
+	mustAdd(t, a, &Entity{ID: "only-a", Kind: KindRack})
+	d := Diff(a, b)
+	if len(d.OnlyInA) != 1 || d.OnlyInA[0] != "only-a" {
+		t.Errorf("OnlyInA = %v", d.OnlyInA)
+	}
+	if len(d.OnlyInB) != 1 || d.OnlyInB[0] != "s2" {
+		t.Errorf("OnlyInB = %v", d.OnlyInB)
+	}
+	if bad := d.AttrMismatch["s1"]; len(bad) != 1 || bad[0] != "power_w" {
+		t.Errorf("AttrMismatch = %v", d.AttrMismatch)
+	}
+	if d.Empty() {
+		t.Error("diff claims empty")
+	}
+}

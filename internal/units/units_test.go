@@ -1,0 +1,49 @@
+package units
+
+import "testing"
+
+func TestLengthConversions(t *testing.T) {
+	if got := Millimeters(2500).Meters(); got != 2.5 {
+		t.Errorf("2500mm = %v m, want 2.5", got)
+	}
+	if got := Meters(1.5).Millimeters(); got != 1500 {
+		t.Errorf("1.5m = %v mm, want 1500", got)
+	}
+	// Round trip.
+	if got := Meters(3.25).Millimeters().Meters(); got != 3.25 {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := Minutes(90).Hours(); got != 1.5 {
+		t.Errorf("90min = %v h, want 1.5", got)
+	}
+	if got := Hours(2).Minutes(); got != 120 {
+		t.Errorf("2h = %v min, want 120", got)
+	}
+	if got := Hours(48).Days(); got != 2 {
+		t.Errorf("48h = %v days, want 2", got)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Meters(2.5).String(), "2.50m"},
+		{Millimeters(6.7).String(), "6.7mm"},
+		{SquareMillimeters(35.3).String(), "35.3mm²"},
+		{Minutes(4.5).String(), "4.5min"},
+		{Hours(13.6).String(), "13.6h"},
+		{USD(99.5).String(), "$99.50"},
+		{Gbps(400).String(), "400Gbps"},
+		{DB(0.5).String(), "0.50dB"},
+		{Watts(3.5).String(), "3.5W"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Package workload models the demand side of capacity planning (§2.3):
+// traffic/demand growth, forecasts whose error grows with lead time, and
+// the capacity-planning loop that physical deployment speed feeds into —
+// "slow deployment also makes network capacity planning harder, because
+// demand forecasts become inaccurate over relatively short timescales.
+// If we install too little capacity, machines are stranded; if we
+// install too much, it wastes money."
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// GrowthModel generates a demand trajectory in "server equivalents"
+// (units of capacity the network must attach).
+type GrowthModel struct {
+	Start       float64 // demand at t=0
+	MonthlyRate float64 // compound growth per month (0.05 = 5%)
+	Noise       float64 // multiplicative lognormal-ish noise sigma per month
+	Seed        uint64
+}
+
+// Trajectory returns months+1 demand samples, t=0..months. Deterministic
+// per seed.
+func (g GrowthModel) Trajectory(months int) []float64 {
+	rng := rand.New(rand.NewPCG(g.Seed, g.Seed^0xd3a4d))
+	out := make([]float64, months+1)
+	d := g.Start
+	for t := 0; t <= months; t++ {
+		out[t] = d
+		shock := math.Exp(g.Noise * rng.NormFloat64())
+		d *= (1 + g.MonthlyRate) * shock
+	}
+	return out
+}
+
+// Forecast predicts demand at t+lead given history up to t, using
+// trailing-growth extrapolation. Real forecast error grows with lead
+// time; the sim measures exactly that when trajectories are noisy.
+func Forecast(history []float64, lead int) (float64, error) {
+	n := len(history)
+	if n < 2 {
+		return 0, fmt.Errorf("workload: need at least 2 history points")
+	}
+	// Trailing mean monthly growth over up to 6 months.
+	window := 6
+	if n-1 < window {
+		window = n - 1
+	}
+	growth := math.Pow(history[n-1]/history[n-1-window], 1/float64(window))
+	return history[n-1] * math.Pow(growth, float64(lead)), nil
+}
+
+// PlanOutcome aggregates a capacity-planning simulation.
+type PlanOutcome struct {
+	Months          int
+	LeadTimeMonths  int
+	StrandedUnitMo  float64 // Σ max(0, demand − capacity): unattached demand × months
+	IdleUnitMo      float64 // Σ max(0, capacity − demand): dark capacity × months
+	Installs        int
+	MeanAbsFcastErr float64 // mean |forecast − actual| / actual at delivery
+}
+
+// SimulatePlanning runs the §2.3 loop: each month the planner forecasts
+// demand leadTime months out (the physical deployment pipeline length)
+// and orders capacity to cover it; capacity lands leadTime months later.
+// Faster deployment = shorter lead = smaller forecast error = less
+// stranding and less waste.
+func SimulatePlanning(g GrowthModel, months, leadTime int) (PlanOutcome, error) {
+	if months < leadTime+2 || leadTime < 0 {
+		return PlanOutcome{}, fmt.Errorf("workload: need months > leadTime+1 (got %d, %d)", months, leadTime)
+	}
+	demand := g.Trajectory(months)
+	capacity := demand[0] // start balanced
+	pending := make([]float64, months+1)
+	out := PlanOutcome{Months: months, LeadTimeMonths: leadTime}
+	var errSum float64
+	var errN int
+	for t := 1; t <= months; t++ {
+		capacity += pending[t]
+		if demand[t] > capacity {
+			out.StrandedUnitMo += demand[t] - capacity
+		} else {
+			out.IdleUnitMo += capacity - demand[t]
+		}
+		// Order for t+leadTime.
+		tgt := t + leadTime
+		if tgt <= months && t >= 2 {
+			fc, err := Forecast(demand[:t+1], leadTime)
+			if err != nil {
+				return PlanOutcome{}, err
+			}
+			// Order the gap between forecast demand and what will exist.
+			future := capacity
+			for k := t + 1; k <= tgt; k++ {
+				future += pending[k]
+			}
+			if fc > future {
+				pending[tgt] += fc - future
+				out.Installs++
+			}
+			// Track realized forecast error at delivery time.
+			if tgt <= months {
+				e := math.Abs(fc-demand[tgt]) / demand[tgt]
+				errSum += e
+				errN++
+			}
+		}
+	}
+	if errN > 0 {
+		out.MeanAbsFcastErr = errSum / float64(errN)
+	}
+	return out, nil
+}
+
+// SweepLeadTimes runs SimulatePlanning across lead times and returns one
+// outcome per entry — the curve E15 prints.
+func SweepLeadTimes(g GrowthModel, months int, leads []int) ([]PlanOutcome, error) {
+	var out []PlanOutcome
+	for _, l := range leads {
+		o, err := SimulatePlanning(g, months, l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrajectoryDeterministicAndGrowing(t *testing.T) {
+	g := GrowthModel{Start: 1000, MonthlyRate: 0.05, Noise: 0.02, Seed: 3}
+	a := g.Trajectory(24)
+	b := g.Trajectory(24)
+	if len(a) != 25 {
+		t.Fatalf("len = %d, want 25", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("trajectory not deterministic")
+		}
+	}
+	if a[24] <= a[0] {
+		t.Errorf("5%%/mo growth ended below start: %v -> %v", a[0], a[24])
+	}
+}
+
+func TestTrajectoryNoNoiseIsExactCompound(t *testing.T) {
+	g := GrowthModel{Start: 100, MonthlyRate: 0.10, Noise: 0, Seed: 1}
+	tr := g.Trajectory(12)
+	want := 100 * math.Pow(1.1, 12)
+	if math.Abs(tr[12]-want) > 1e-6 {
+		t.Errorf("t=12 demand %v, want %v", tr[12], want)
+	}
+}
+
+func TestForecastExactOnCleanGrowth(t *testing.T) {
+	g := GrowthModel{Start: 100, MonthlyRate: 0.05, Noise: 0, Seed: 1}
+	tr := g.Trajectory(20)
+	fc, err := Forecast(tr[:13], 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fc-tr[16])/tr[16] > 1e-9 {
+		t.Errorf("clean-growth forecast %v, actual %v", fc, tr[16])
+	}
+}
+
+func TestForecastNeedsHistory(t *testing.T) {
+	if _, err := Forecast([]float64{5}, 3); err == nil {
+		t.Error("single-point history accepted")
+	}
+}
+
+func TestSimulatePlanningCleanGrowthNoStranding(t *testing.T) {
+	g := GrowthModel{Start: 1000, MonthlyRate: 0.04, Noise: 0, Seed: 1}
+	o, err := SimulatePlanning(g, 36, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With perfect forecasts, stranding only from the warm-up months
+	// before the first order lands.
+	if o.MeanAbsFcastErr > 1e-9 {
+		t.Errorf("forecast error %v on noiseless growth", o.MeanAbsFcastErr)
+	}
+	if o.Installs == 0 {
+		t.Error("planner never ordered capacity")
+	}
+	warmup := o.StrandedUnitMo
+	// Stranding beyond warmup would show up with longer horizon at same
+	// lead; verify it doesn't grow.
+	o2, err := SimulatePlanning(g, 48, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perMonth1 := warmup / 36
+	perMonth2 := o2.StrandedUnitMo / 48
+	if perMonth2 > perMonth1*1.5 {
+		t.Errorf("stranding rate grows with horizon on clean growth: %v -> %v", perMonth1, perMonth2)
+	}
+}
+
+func TestLongerLeadTimeHurts(t *testing.T) {
+	g := GrowthModel{Start: 1000, MonthlyRate: 0.05, Noise: 0.06, Seed: 11}
+	outs, err := SweepLeadTimes(g, 60, []int{1, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, long := outs[0], outs[1]
+	if long.MeanAbsFcastErr <= short.MeanAbsFcastErr {
+		t.Errorf("6-month forecasts (%v) not worse than 1-month (%v)",
+			long.MeanAbsFcastErr, short.MeanAbsFcastErr)
+	}
+	if long.StrandedUnitMo+long.IdleUnitMo <= short.StrandedUnitMo+short.IdleUnitMo {
+		t.Errorf("longer lead did not increase total mismatch: %v vs %v",
+			long.StrandedUnitMo+long.IdleUnitMo, short.StrandedUnitMo+short.IdleUnitMo)
+	}
+}
+
+func TestSimulatePlanningValidation(t *testing.T) {
+	g := GrowthModel{Start: 100, MonthlyRate: 0.02, Seed: 1}
+	if _, err := SimulatePlanning(g, 3, 5); err == nil {
+		t.Error("months < leadTime accepted")
+	}
+	if _, err := SimulatePlanning(g, 10, -1); err == nil {
+		t.Error("negative lead accepted")
+	}
+}
+
+// Property: stranded and idle unit-months are non-negative and the
+// planner never orders on a shrinking forecast gap.
+func TestQuickPlanningNonNegative(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := GrowthModel{Start: 500, MonthlyRate: 0.03, Noise: 0.05, Seed: seed}
+		o, err := SimulatePlanning(g, 40, 4)
+		if err != nil {
+			return false
+		}
+		return o.StrandedUnitMo >= 0 && o.IdleUnitMo >= 0 && o.MeanAbsFcastErr >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
