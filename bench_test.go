@@ -17,7 +17,7 @@ import (
 // measured is the full experiment pipeline; failures abort the bench.
 
 func benchExperiment(b *testing.B, id string) {
-	run := experiments.All()[id]
+	run := experiments.Get(id)
 	if run == nil {
 		b.Fatalf("unknown experiment %s", id)
 	}
@@ -60,7 +60,9 @@ func BenchmarkE22SupplyChainAudit(b *testing.B)   { benchExperiment(b, "E22") }
 // its quality delta as a custom metric alongside the timing.
 
 // Placement: greedy-only vs greedy+annealing. Reports the cable-length
-// ratio anneal/greedy (lower is better; <1 means annealing helped).
+// ratio anneal/greedy (lower is better; <1 means annealing helped). The
+// annealer runs its 4-chain multi-restart mode, so this also measures the
+// parallel restart fan-out (scale workers with PHYSDEP_WORKERS).
 func BenchmarkAblationPlacement(b *testing.B) {
 	ft, err := topology.FatTree(topology.FatTreeConfig{K: 8, Rate: 100})
 	if err != nil {
@@ -68,6 +70,8 @@ func BenchmarkAblationPlacement(b *testing.B) {
 	}
 	hall := floorplan.DefaultHall(5, 14)
 	ratio := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fg, err := floorplan.NewFloorplan(hall)
 		if err != nil {
@@ -78,10 +82,43 @@ func BenchmarkAblationPlacement(b *testing.B) {
 			b.Fatal(err)
 		}
 		greedyLen := pg.CableLength()
-		_, annealLen := placement.Optimize(pg, 20000, uint64(i+1))
+		_, annealLen := placement.OptimizeRestarts(pg, 20000, uint64(i+1), 4)
 		ratio = float64(annealLen) / float64(greedyLen)
 	}
 	b.ReportMetric(ratio, "len-ratio")
+}
+
+// Kernel benchmarks for the two parallel substrates the experiments lean
+// on hardest: the all-pairs BFS sweep and KSP path enumeration.
+
+func BenchmarkKernelAllPairsStats(b *testing.B) {
+	jf, err := topology.Jellyfish(topology.JellyfishConfig{N: 128, K: 16, R: 8, Rate: 100, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := jf.AllPairsStats(jf.ToRs())
+		if st.Diameter == 0 {
+			b.Fatal("degenerate stats")
+		}
+	}
+}
+
+func BenchmarkKernelKSPThroughput(b *testing.B) {
+	jf, err := topology.Jellyfish(topology.JellyfishConfig{N: 64, K: 12, R: 6, Rate: 100, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := trafficsim.Uniform(64, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trafficsim.KSPThroughput(jf, m, trafficsim.DefaultKSP()); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // Rewiring: the minimal-rewiring solver's live moves vs the theoretical

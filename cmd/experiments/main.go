@@ -3,36 +3,62 @@
 //
 // Usage:
 //
-//	experiments            # run everything, in order
-//	experiments -run E3,E4 # run a subset
-//	experiments -list      # list experiment IDs and titles
+//	experiments                         # run everything, in order
+//	experiments -run E3,E4              # run a subset
+//	experiments -list                   # list experiment IDs and titles
+//	experiments -workers 4              # cap the worker pools (also PHYSDEP_WORKERS)
+//	experiments -bench-json out.json    # benchmark experiments, write one JSON report
+//	experiments -bench-json 'BENCH_*.json'  # …or one BENCH_E<n>.json per experiment
+//
+// Experiments run concurrently (bounded by -workers) but print in
+// presentation order; the output is byte-identical for any worker count.
+//
+// Bench mode times each selected experiment at every worker count in
+// -bench-workers (default "1,N" where N is the full pool), reporting
+// wall-clock, allocations, and the parallel speedup — the repo's perf
+// trajectory is recorded by committing these BENCH_E*.json files. The
+// placement-annealing ablation kernel is benchmarked alongside under the
+// pseudo-ID ABLATION_PLACEMENT.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
 	"physdep/internal/experiments"
+	"physdep/internal/floorplan"
+	"physdep/internal/par"
+	"physdep/internal/placement"
+	"physdep/internal/topology"
 )
 
 func main() {
 	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS or PHYSDEP_WORKERS)")
+	benchJSON := flag.String("bench-json", "", "benchmark instead of printing tables; write JSON here ('*' in the name expands per experiment)")
+	benchReps := flag.Int("bench-reps", 3, "repetitions per benchmark point (best wall-clock wins)")
+	benchWorkers := flag.String("bench-workers", "", "comma-separated worker counts to sweep in bench mode (default \"1,<pool>\")")
 	flag.Parse()
 
-	all := experiments.All()
+	if *workers > 0 {
+		par.SetWorkers(*workers)
+	}
 	order := experiments.Order()
 
 	if *list {
-		for _, id := range order {
-			res, err := all[id]()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "%s: error: %v\n", id, err)
+		for _, o := range experiments.RunMany(order) {
+			if o.Err != nil {
+				fmt.Fprintf(os.Stderr, "%s: error: %v\n", o.ID, o.Err)
 				continue
 			}
-			fmt.Printf("%-4s %s\n", id, res.Title)
+			fmt.Printf("%-4s %s\n", o.ID, o.Res.Title)
 		}
 		return
 	}
@@ -42,24 +68,190 @@ func main() {
 		ids = nil
 		for _, id := range strings.Split(*runList, ",") {
 			id = strings.TrimSpace(strings.ToUpper(id))
-			if _, ok := all[id]; !ok {
+			if experiments.Get(id) == nil {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
 				os.Exit(2)
 			}
 			ids = append(ids, id)
 		}
 	}
+
+	if *benchJSON != "" {
+		if err := runBench(ids, *benchJSON, *benchReps, *benchWorkers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	failed := 0
-	for _, id := range ids {
-		res, err := all[id]()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", id, err)
+	for _, o := range experiments.RunMany(ids) {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", o.ID, o.Err)
 			failed++
 			continue
 		}
-		fmt.Println(res.Render())
+		fmt.Println(o.Res.Render())
 	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// benchSample is one (worker count → cost) measurement point.
+type benchSample struct {
+	Workers         int     `json:"workers"`
+	WallMS          float64 `json:"wall_ms"` // best of reps
+	Allocs          uint64  `json:"allocs"`
+	AllocBytes      uint64  `json:"alloc_bytes"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// benchEntry is the benchmark record of one experiment (or ablation
+// kernel): its scaling curve over the swept worker counts.
+type benchEntry struct {
+	ID         string        `json:"id"`
+	Title      string        `json:"title"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Reps       int           `json:"reps"`
+	Date       string        `json:"date"`
+	Samples    []benchSample `json:"samples"`
+}
+
+func runBench(ids []string, outPath string, reps int, workerList string) error {
+	if reps < 1 {
+		reps = 1
+	}
+	pool := par.Workers()
+	counts := []int{1}
+	if pool > 1 {
+		counts = append(counts, pool)
+	}
+	if workerList != "" {
+		counts = nil
+		for _, s := range strings.Split(workerList, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -bench-workers entry %q", s)
+			}
+			counts = append(counts, n)
+		}
+	}
+	defer par.SetWorkers(pool)
+
+	type task struct {
+		id, title string
+		run       func() error
+	}
+	var tasks []task
+	for _, id := range ids {
+		run := experiments.Get(id)
+		o := experiments.RunMany([]string{id})[0] // warm-up + title
+		if o.Err != nil {
+			return fmt.Errorf("%s failed during warm-up: %v", id, o.Err)
+		}
+		tasks = append(tasks, task{id: id, title: o.Res.Title, run: func() error {
+			_, err := run()
+			return err
+		}})
+	}
+	tasks = append(tasks, task{
+		id:    "ABLATION_PLACEMENT",
+		title: "Placement annealing, 4 restart chains × 20k steps (bench_test.go ablation)",
+		run:   benchPlacementKernel,
+	})
+
+	var entries []benchEntry
+	for _, tk := range tasks {
+		e := benchEntry{
+			ID: tk.id, Title: tk.title,
+			GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+			Reps: reps, Date: time.Now().UTC().Format("2006-01-02"),
+		}
+		for _, w := range counts {
+			par.SetWorkers(w)
+			best := benchSample{Workers: w}
+			for r := 0; r < reps; r++ {
+				var m0, m1 runtime.MemStats
+				runtime.ReadMemStats(&m0)
+				t0 := time.Now()
+				if err := tk.run(); err != nil {
+					return fmt.Errorf("%s (workers=%d): %v", tk.id, w, err)
+				}
+				wall := float64(time.Since(t0).Microseconds()) / 1000
+				runtime.ReadMemStats(&m1)
+				if r == 0 || wall < best.WallMS {
+					best.WallMS = wall
+					best.Allocs = m1.Mallocs - m0.Mallocs
+					best.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+				}
+			}
+			e.Samples = append(e.Samples, best)
+		}
+		if len(e.Samples) > 1 && e.Samples[0].Workers == 1 {
+			serial := e.Samples[0].WallMS
+			for i := range e.Samples[1:] {
+				if e.Samples[i+1].WallMS > 0 {
+					e.Samples[i+1].SpeedupVsSerial = serial / e.Samples[i+1].WallMS
+				}
+			}
+		}
+		entries = append(entries, e)
+		fmt.Fprintf(os.Stderr, "benched %s: %v\n", tk.id, summarize(e))
+	}
+	return writeBench(entries, outPath)
+}
+
+func summarize(e benchEntry) string {
+	var parts []string
+	for _, s := range e.Samples {
+		parts = append(parts, fmt.Sprintf("w=%d %.1fms", s.Workers, s.WallMS))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// benchPlacementKernel mirrors BenchmarkAblationPlacement: greedy
+// placement of a k=8 fat-tree, then 4 annealing restart chains.
+func benchPlacementKernel() error {
+	ft, err := topology.FatTree(topology.FatTreeConfig{K: 8, Rate: 100})
+	if err != nil {
+		return err
+	}
+	f, err := floorplan.NewFloorplan(floorplan.DefaultHall(5, 14))
+	if err != nil {
+		return err
+	}
+	p, err := placement.Greedy(ft, f, placement.Config{})
+	if err != nil {
+		return err
+	}
+	placement.OptimizeRestarts(p, 20000, 1, 4)
+	return nil
+}
+
+func writeBench(entries []benchEntry, outPath string) error {
+	if strings.Contains(outPath, "*") {
+		for _, e := range entries {
+			path := strings.ReplaceAll(outPath, "*", e.ID)
+			if err := writeJSON(path, e); err != nil {
+				return err
+			}
+			fmt.Println(path)
+		}
+		return nil
+	}
+	if err := writeJSON(outPath, entries); err != nil {
+		return err
+	}
+	fmt.Println(outPath)
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

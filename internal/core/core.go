@@ -31,6 +31,9 @@ type Input struct {
 
 	// PlacementSteps > 0 runs simulated-annealing placement refinement.
 	PlacementSteps int
+	// PlacementRestarts > 1 runs that many independently seeded annealing
+	// chains in parallel and keeps the best (placement.OptimizeRestarts).
+	PlacementRestarts int
 	// Techs is the deployment crew size (default 8).
 	Techs int
 	// Prebundle enables pre-built cable bundles (default true via
@@ -118,7 +121,7 @@ func Evaluate(in Input) (*Report, error) {
 		return nil, err
 	}
 	if in.PlacementSteps > 0 {
-		placement.Optimize(p, in.PlacementSteps, in.Seed)
+		placement.OptimizeRestarts(p, in.PlacementSteps, in.Seed, in.PlacementRestarts)
 	}
 	plan, err := cabling.PlanCables(f, in.Catalog, p.Demands(in.ExtraLoss), cabling.Options{})
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"physdep/internal/core"
 	"physdep/internal/floorplan"
+	"physdep/internal/par"
 	"physdep/internal/topology"
 	"physdep/internal/trafficsim"
 )
@@ -75,13 +76,19 @@ func E1Deployability() (*Result, error) {
 		Notes: "bundle% is the fraction of cables arriving in ≥4-cable prebuilt bundles; deploy_hrs is wall-clock with an 8-tech crew",
 	}
 	res.Lines = append(res.Lines, core.Header())
-	for _, tp := range topos {
-		rep, err := core.Evaluate(core.DefaultInput(tp, e1Hall()))
+	// One full pipeline evaluation per topology, fanned out; rows land in
+	// topology order regardless of which finishes first.
+	rows, err := par.Map(len(topos), func(i int) (string, error) {
+		rep, err := core.Evaluate(core.DefaultInput(topos[i], e1Hall()))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", tp.Name, err)
+			return "", fmt.Errorf("%s: %w", topos[i].Name, err)
 		}
-		res.Lines = append(res.Lines, rep.Row())
+		return rep.Row(), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Lines = append(res.Lines, rows...)
 	return res, nil
 }
 
@@ -103,10 +110,13 @@ func E7ThroughputVsDeploy() (*Result, error) {
 	res.Lines = append(res.Lines,
 		fmt.Sprintf("%-22s %7s %9s %9s %10s %12s %10s %8s",
 			"topology", "routing", "alpha", "ideal", "norm_tput", "deploy_hrs", "labor_$", "bundle%"))
-	for _, tp := range topos {
+	// Each topology's deploy evaluation + throughput solve is independent;
+	// fan them out and keep the rows in topology order.
+	rows, err := par.Map(len(topos), func(i int) (string, error) {
+		tp := topos[i]
 		rep, err := core.Evaluate(core.DefaultInput(tp, e1Hall()))
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", tp.Name, err)
+			return "", fmt.Errorf("%s: %w", tp.Name, err)
 		}
 		tors := tp.ToRs()
 		// Per-ToR egress = server ports × 100G.
@@ -123,15 +133,18 @@ func E7ThroughputVsDeploy() (*Result, error) {
 			alpha, err = trafficsim.KSPThroughput(tp, m, trafficsim.KSPConfig{K: 12, Slack: 1, Chunks: 12})
 		}
 		if err != nil {
-			return nil, fmt.Errorf("%s throughput: %w", tp.Name, err)
+			return "", fmt.Errorf("%s throughput: %w", tp.Name, err)
 		}
 		ideal := idealAlpha(tp, perToR)
 		norm := alpha * float64(tp.Servers()) * 100 / float64(tp.NumSwitches())
-		res.Lines = append(res.Lines,
-			fmt.Sprintf("%-22s %7s %9.3f %9.3f %10.0f %12.1f %10.0f %8.1f",
-				tp.Name, routing, alpha, ideal, norm, float64(rep.TimeToDeploy),
-				float64(rep.LaborCost), 100*rep.Bundleability))
+		return fmt.Sprintf("%-22s %7s %9.3f %9.3f %10.0f %12.1f %10.0f %8.1f",
+			tp.Name, routing, alpha, ideal, norm, float64(rep.TimeToDeploy),
+			float64(rep.LaborCost), 100*rep.Bundleability), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Lines = append(res.Lines, rows...)
 	res.Notes += "; ideal = capacity/(demand×mean-hops) routing-independent bound — the alpha/ideal gap is the routing-maturity tax §4.2 also describes (8 years from Jellyfish to a deployable routing scheme)"
 	return res, nil
 }

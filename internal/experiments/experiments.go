@@ -8,6 +8,9 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
+
+	"physdep/internal/par"
 )
 
 // Result is one regenerated table.
@@ -36,8 +39,24 @@ func (r *Result) Render() string {
 // Runner produces one experiment.
 type Runner func() (*Result, error)
 
-// All returns every experiment in ID order.
+var (
+	allOnce sync.Once
+	allMap  map[string]Runner
+)
+
+// All returns the experiment registry. The map is built once and shared
+// (bench harnesses call All() per iteration); treat it as read-only.
 func All() map[string]Runner {
+	allOnce.Do(func() {
+		allMap = registry()
+	})
+	return allMap
+}
+
+// Get returns the runner for id, or nil if the ID is unknown.
+func Get(id string) Runner { return All()[id] }
+
+func registry() map[string]Runner {
 	return map[string]Runner{
 		"E1":  E1Deployability,
 		"E2":  E2MediaCrossover,
@@ -69,4 +88,31 @@ func Order() []string {
 	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7",
 		"E8", "E9", "E10", "E11", "E12", "E13", "E14",
 		"E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22"}
+}
+
+// Outcome is one experiment's run result, error included, so a failing
+// experiment doesn't abort a concurrent batch.
+type Outcome struct {
+	ID  string
+	Res *Result
+	Err error
+}
+
+// RunMany executes the given experiments concurrently (bounded by
+// par.Workers()) and returns their outcomes in input order, which is how
+// cmd/experiments keeps its output byte-identical to a serial run.
+// Unknown IDs yield an error outcome.
+func RunMany(ids []string) []Outcome {
+	out := make([]Outcome, len(ids))
+	par.For(len(ids), func(k int) error {
+		out[k].ID = ids[k]
+		run := Get(ids[k])
+		if run == nil {
+			out[k].Err = fmt.Errorf("unknown experiment %q", ids[k])
+			return nil
+		}
+		out[k].Res, out[k].Err = run()
+		return nil
+	})
+	return out
 }

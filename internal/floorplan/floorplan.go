@@ -108,6 +108,23 @@ func (f *Floorplan) ReleaseRU(idx, ru int) {
 // UsedRU reports the rack units consumed in rack idx.
 func (f *Floorplan) UsedRU(idx int) int { return f.usedRU[idx] }
 
+// Clone returns an independent copy of the floorplan: same hall, separate
+// occupancy state. Parallel placement chains each mutate their own clone.
+func (f *Floorplan) Clone() *Floorplan {
+	return &Floorplan{Hall: f.Hall, usedRU: append([]int(nil), f.usedRU...)}
+}
+
+// CopyOccupancyFrom overwrites f's per-rack RU usage with src's. The two
+// floorplans must share hall geometry; the winning annealing chain's state
+// is installed back into the caller's floorplan this way.
+func (f *Floorplan) CopyOccupancyFrom(src *Floorplan) {
+	if len(f.usedRU) != len(src.usedRU) {
+		panic(fmt.Sprintf("floorplan: CopyOccupancyFrom across halls (%d vs %d racks)",
+			len(f.usedRU), len(src.usedRU)))
+	}
+	copy(f.usedRU, src.usedRU)
+}
+
 // FitsThroughDoor reports whether a pre-assembled unit of n conjoined
 // racks fits through the hall door — the paper's "double-wide racks don't
 // always fit through doors" constraint.

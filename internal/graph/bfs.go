@@ -1,17 +1,28 @@
 package graph
 
+import "physdep/internal/par"
+
 // BFS returns hop distances from src to every node; unreachable nodes get
 // -1. Edge capacities are ignored: every live edge is one hop.
 func (g *Graph) BFS(src int) []int {
 	dist := make([]int, g.N)
+	g.BFSInto(src, dist, nil)
+	return dist
+}
+
+// BFSInto is BFS with caller-owned buffers: dist must have length g.N and
+// is overwritten; queue is reused as the frontier (grown as needed) and
+// returned so callers can recycle its capacity across many sources. The
+// all-pairs kernels call this once per source with per-worker buffers, so
+// the sweep allocates nothing after warm-up.
+func (g *Graph) BFSInto(src int, dist, queue []int) []int {
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := []int{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	queue = append(queue[:0], src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, id := range g.adj[u] {
 			w := g.Edges[id].Other(u)
 			if dist[w] == -1 {
@@ -20,7 +31,7 @@ func (g *Graph) BFS(src int) []int {
 			}
 		}
 	}
-	return dist
+	return queue
 }
 
 // PathStats summarizes hop-count structure over a node set.
@@ -31,10 +42,20 @@ type PathStats struct {
 	Unreachable int     // number of ordered unreachable pairs
 }
 
+// parallelSourcesMin is the node-set size below which the all-pairs sweep
+// stays serial: under ~tens of sources the fan-out overhead exceeds the
+// BFS work.
+const parallelSourcesMin = 24
+
 // AllPairsStats runs BFS from every node in nodes (or all nodes if nodes is
 // nil) and aggregates diameter and mean hop count restricted to pairs
 // within the set. Topology comparisons use ToR-to-ToR stats, so the subset
 // form matters.
+//
+// The per-source BFS sweeps fan out across par.Workers() goroutines with
+// per-worker reusable dist buffers. The aggregate is exact integer state
+// (sum, max, counts), so the result is identical to the serial sweep for
+// any worker count.
 func (g *Graph) AllPairsStats(nodes []int) PathStats {
 	if nodes == nil {
 		nodes = make([]int, g.N)
@@ -42,24 +63,58 @@ func (g *Graph) AllPairsStats(nodes []int) PathStats {
 			nodes[i] = i
 		}
 	}
-	var st PathStats
-	var sum int64
-	for _, u := range nodes {
-		dist := g.BFS(u)
+	type partial struct {
+		sum            int64
+		diam           int
+		reach, unreach int
+	}
+	accumulate := func(pt *partial, dist []int, u int) {
 		for _, v := range nodes {
 			if v == u {
 				continue
 			}
 			d := dist[v]
 			if d < 0 {
-				st.Unreachable++
+				pt.unreach++
 				continue
 			}
-			st.Reachable++
-			sum += int64(d)
-			if d > st.Diameter {
-				st.Diameter = d
+			pt.reach++
+			pt.sum += int64(d)
+			if d > pt.diam {
+				pt.diam = d
 			}
+		}
+	}
+	var parts []partial
+	if len(nodes) < parallelSourcesMin || par.Workers() == 1 {
+		parts = make([]partial, 1)
+		dist := make([]int, g.N)
+		var queue []int
+		for _, u := range nodes {
+			queue = g.BFSInto(u, dist, queue)
+			accumulate(&parts[0], dist, u)
+		}
+	} else {
+		parts = make([]partial, par.Workers())
+		dists := make([][]int, len(parts))
+		queues := make([][]int, len(parts))
+		par.ForWorker(len(nodes), func(wk, i int) error {
+			if dists[wk] == nil {
+				dists[wk] = make([]int, g.N)
+			}
+			queues[wk] = g.BFSInto(nodes[i], dists[wk], queues[wk])
+			accumulate(&parts[wk], dists[wk], nodes[i])
+			return nil
+		})
+	}
+	var st PathStats
+	var sum int64
+	for _, pt := range parts {
+		sum += pt.sum
+		st.Reachable += pt.reach
+		st.Unreachable += pt.unreach
+		if pt.diam > st.Diameter {
+			st.Diameter = pt.diam
 		}
 	}
 	if st.Reachable > 0 {

@@ -1,6 +1,10 @@
 package graph
 
-import "math/rand/v2"
+import (
+	"math/rand/v2"
+
+	"physdep/internal/par"
+)
 
 // BisectionEstimate returns a heuristic upper bound on the bisection
 // bandwidth of g: the minimum, over restarts, of the capacity crossing a
@@ -8,16 +12,25 @@ import "math/rand/v2"
 // local search. It is an upper bound because any balanced cut witnesses
 // one; the optimizer only tightens it.
 //
-// restarts controls how many random initial partitions are refined. Edge
-// capacities of zero count as 1, matching MaxFlow's convention.
+// restarts controls how many random initial partitions are refined; they
+// run in parallel. Each restart's seed pair is drawn from rng up front,
+// so the answer depends only on (g, restarts, rng state), never on the
+// worker count. Edge capacities of zero count as 1, matching MaxFlow's
+// convention.
 func (g *Graph) BisectionEstimate(restarts int, rng *rand.Rand) float64 {
-	if g.N < 2 {
+	if g.N < 2 || restarts < 1 {
 		return 0
 	}
-	best := -1.0
-	for r := 0; r < restarts; r++ {
-		cut := g.refineBisection(rng)
-		if best < 0 || cut < best {
+	seeds := make([][2]uint64, restarts)
+	for r := range seeds {
+		seeds[r] = [2]uint64{rng.Uint64(), rng.Uint64()}
+	}
+	cuts, _ := par.Map(restarts, func(r int) (float64, error) {
+		return g.refineBisection(rand.New(rand.NewPCG(seeds[r][0], seeds[r][1]))), nil
+	})
+	best := cuts[0]
+	for _, cut := range cuts[1:] {
+		if cut < best {
 			best = cut
 		}
 	}

@@ -3,6 +3,8 @@ package graph
 import (
 	"math"
 	"math/rand/v2"
+
+	"physdep/internal/par"
 )
 
 // SpectralGap estimates 1 - λ₂ of the lazy random-walk matrix
@@ -45,13 +47,14 @@ func (g *Graph) SpectralGap(iters int, rng *rand.Rand) float64 {
 	}
 	y := make([]float64, g.N)
 	lambda := 0.0
-	for it := 0; it < iters; it++ {
-		deflate(x, pi)
-		// y = (x + P x)/2, with P(u,v) = (#edges u–v)/deg(u).
-		for u := range y {
+	// The matvec fans out over fixed node blocks when the graph is big
+	// enough to amortize the goroutines. Each y[u] is computed from x
+	// alone, so block boundaries and worker count cannot change any value.
+	const blockNodes = 256
+	blocks := (g.N + blockNodes - 1) / blockNodes
+	matvecBlock := func(lo, hi int) {
+		for u := lo; u < hi; u++ {
 			y[u] = 0
-		}
-		for u := 0; u < g.N; u++ {
 			for _, id := range g.adj[u] {
 				w := g.Edges[id].Other(u)
 				y[u] += x[w] / deg[u]
@@ -60,6 +63,22 @@ func (g *Graph) SpectralGap(iters int, rng *rand.Rand) float64 {
 				y[u] = x[u] // self-loop
 			}
 			y[u] = (y[u] + x[u]) / 2
+		}
+	}
+	for it := 0; it < iters; it++ {
+		deflate(x, pi)
+		// y = (x + P x)/2, with P(u,v) = (#edges u–v)/deg(u).
+		if blocks > 1 && par.Workers() > 1 {
+			par.For(blocks, func(b int) error {
+				hi := (b + 1) * blockNodes
+				if hi > g.N {
+					hi = g.N
+				}
+				matvecBlock(b*blockNodes, hi)
+				return nil
+			})
+		} else {
+			matvecBlock(0, g.N)
 		}
 		norm := 0.0
 		for _, v := range y {

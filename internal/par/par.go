@@ -1,0 +1,174 @@
+// Package par is physdep's deterministic parallelism substrate. Every
+// hot kernel in the repo (all-pairs BFS stats, KSP path enumeration,
+// annealing restart chains, experiment fan-out) runs through the bounded
+// worker pools here, under one contract: the result of a parallel run is
+// byte-identical to the serial run, for any worker count.
+//
+// The contract is kept by construction, not by locking discipline:
+//
+//   - Map/For assign work by index and deliver results by index, so
+//     output ordering never depends on scheduling.
+//   - Errors are reported from the lowest failing index, the same error a
+//     serial left-to-right sweep would surface.
+//   - Randomized kernels draw a per-index seed (ForRand/Rand) instead of
+//     sharing one stream, so each work item sees the same random sequence
+//     no matter which worker runs it.
+//   - Reductions that need associativity (sums, mins, maxes over exact
+//     integer state) are the caller's job; ForWorker exposes a stable
+//     worker id so per-worker partials can be combined in worker order.
+//
+// Worker count defaults to GOMAXPROCS and is overridable — upward too,
+// for scheduling experiments — via SetWorkers or the PHYSDEP_WORKERS
+// environment variable, which is how the benchmark harness records
+// scaling curves.
+package par
+
+import (
+	"math/rand/v2"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable that overrides the worker count
+// for every pool in the process (benchmarking scaling curves without code
+// changes). SetWorkers takes precedence over the environment.
+const EnvWorkers = "PHYSDEP_WORKERS"
+
+var workerOverride atomic.Int64
+
+// Workers returns the worker count parallel loops will use: the
+// SetWorkers override if set, else PHYSDEP_WORKERS if set and positive,
+// else GOMAXPROCS.
+func Workers() int {
+	if v := workerOverride.Load(); v > 0 {
+		return int(v)
+	}
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the pool width for the whole process; n <= 0
+// removes the override. Intended for flags (-workers) and determinism
+// tests; concurrent loops started before the call keep their old width.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int64(n))
+}
+
+// For runs fn(i) for i in [0, n), fanning out across Workers() goroutines.
+// On error it returns the error from the lowest failing index and stops
+// handing out higher indices (some may already be in flight). With one
+// worker it degenerates to a plain loop with zero goroutine overhead.
+func For(n int, fn func(i int) error) error {
+	return ForWorker(n, func(_, i int) error { return fn(i) })
+}
+
+// ForWorker is For with a stable worker id in [0, Workers()) passed to
+// fn, so callers can keep per-worker reusable scratch (BFS dist buffers,
+// KSP enumeration state) without synchronization: a worker id is never
+// active on two goroutines at once.
+func ForWorker(n int, fn func(worker, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(0, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next  atomic.Int64
+		stop  atomic.Int64 // lowest failing index so far; n = none
+		mu    sync.Mutex
+		first error
+		wg    sync.WaitGroup
+	)
+	stop.Store(int64(n))
+	for wk := 0; wk < w; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) || i >= stop.Load() {
+					return
+				}
+				if err := fn(wk, int(i)); err != nil {
+					mu.Lock()
+					if i < stop.Load() {
+						stop.Store(i)
+						first = err
+					}
+					mu.Unlock()
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return first
+}
+
+// Map runs fn(i) for i in [0, n) in parallel and returns the results in
+// input order. On error the results are discarded and the lowest failing
+// index's error is returned.
+func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := For(n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Rand returns the deterministic random stream for work item i under
+// base seed. Streams for distinct (seed, i) are independent PCGs, and a
+// given (seed, i) always yields the same sequence — the property that
+// makes randomized parallel kernels reproducible across worker counts.
+func Rand(seed uint64, i int) *rand.Rand {
+	s := splitmix64(seed + uint64(i)*0x9e3779b97f4a7c15)
+	return rand.New(rand.NewPCG(s, splitmix64(s)))
+}
+
+// ForRand is For with the per-index seeded stream handed to fn.
+func ForRand(n int, seed uint64, fn func(i int, rng *rand.Rand) error) error {
+	return For(n, func(i int) error { return fn(i, Rand(seed, i)) })
+}
+
+// SeedAt derives the scalar seed for chain/work-item i under base seed —
+// the same derivation Rand uses, exposed for kernels (annealing restart
+// chains) that seed their own generators.
+func SeedAt(seed uint64, i int) uint64 {
+	return splitmix64(seed + uint64(i)*0x9e3779b97f4a7c15)
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed hash used
+// to turn (seed, index) into independent stream seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -2,6 +2,7 @@ package placement
 
 import (
 	"math/rand/v2"
+	"sort"
 
 	"physdep/internal/solver"
 	"physdep/internal/units"
@@ -12,8 +13,9 @@ import (
 // the objective is total cable length in meters.
 type annealState struct {
 	p           *Placement
-	edgesOfRack [][]int // live edge IDs incident to each logical rack
+	edgesOfRack [][]int // live edge IDs incident to each logical rack, ascending
 	freeSlots   []int
+	idScratch   []int // reused by affectedEdges
 }
 
 func newAnnealState(p *Placement) *annealState {
@@ -37,24 +39,35 @@ func newAnnealState(p *Placement) *annealState {
 	return s
 }
 
-// lengthOfEdges sums current route lengths of the given edge IDs,
-// counting each edge once even if listed twice (both endpoints moved).
-func (s *annealState) lengthOfEdges(ids map[int]bool) units.Meters {
+// lengthOfEdges sums current route lengths of the given edge IDs. The
+// IDs arrive sorted and deduplicated, so the float summation order is
+// fixed — map-order summation here used to make annealing runs differ in
+// the last ulp, which cascades into different accept/reject decisions.
+func (s *annealState) lengthOfEdges(ids []int) units.Meters {
 	var total units.Meters
-	for id := range ids {
+	for _, id := range ids {
 		total += s.p.EdgeRoute(id).Length
 	}
 	return total
 }
 
-func (s *annealState) affectedEdges(racks ...int) map[int]bool {
-	ids := map[int]bool{}
+// affectedEdges returns the edges incident to the given racks, ascending
+// and deduplicated (an edge between two moved racks appears once), in a
+// buffer reused across proposals.
+func (s *annealState) affectedEdges(racks ...int) []int {
+	ids := s.idScratch[:0]
 	for _, r := range racks {
-		for _, id := range s.edgesOfRack[r] {
-			ids[id] = true
+		ids = append(ids, s.edgesOfRack[r]...)
+	}
+	sort.Ints(ids)
+	uniq := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			uniq = append(uniq, id)
 		}
 	}
-	return ids
+	s.idScratch = ids
+	return uniq
 }
 
 // Propose implements solver.Annealable.
@@ -118,11 +131,39 @@ func (s *annealState) Propose(rng *rand.Rand) (float64, func(), bool) {
 func Optimize(p *Placement, steps int, seed uint64) (before, after units.Meters) {
 	before = p.CableLength()
 	st := newAnnealState(p)
+	solver.Anneal(st, annealConfig(before, steps, seed))
+	return before, p.CableLength()
+}
+
+func annealConfig(before units.Meters, steps int, seed uint64) solver.AnnealConfig {
 	cfg := solver.AnnealConfig{Steps: steps, T0: float64(before) / 200, T1: 0.05, Seed: seed}
 	if cfg.T0 <= cfg.T1 {
 		cfg.T0 = cfg.T1 * 10
 	}
-	solver.Anneal(st, cfg)
+	return cfg
+}
+
+// OptimizeRestarts is Optimize's multi-restart mode: restarts
+// independently seeded annealing chains run in parallel, each on its own
+// clone of p, and the chain with the shortest final cable length (ties
+// broken by lowest chain index) is installed back into p. Chain 0 runs
+// the exact schedule Optimize(p, steps, seed) would, so the result is
+// never worse than single-chain annealing, and the outcome is identical
+// for any worker count. restarts <= 1 is exactly Optimize.
+func OptimizeRestarts(p *Placement, steps int, seed uint64, restarts int) (before, after units.Meters) {
+	if restarts <= 1 {
+		return Optimize(p, steps, seed)
+	}
+	before = p.CableLength()
+	clones := make([]*Placement, restarts)
+	states := make([]solver.Annealable, restarts)
+	for c := range clones {
+		clones[c] = p.Clone()
+		states[c] = newAnnealState(clones[c])
+	}
+	best, _ := solver.AnnealRestarts(states, annealConfig(before, steps, seed),
+		func(c int) float64 { return float64(clones[c].CableLength()) })
+	p.adopt(clones[best])
 	return before, p.CableLength()
 }
 

@@ -49,6 +49,28 @@ type Placement struct {
 // NumRacks returns the number of logical racks in use.
 func (p *Placement) NumRacks() int { return len(p.SlotOfRack) }
 
+// Clone returns an independent copy of the placement sharing the (read-
+// only) topology but owning its slot assignment and floor occupancy, so
+// parallel annealing chains can mutate clones without touching p.
+func (p *Placement) Clone() *Placement {
+	return &Placement{
+		Topo:         p.Topo,
+		Floor:        p.Floor.Clone(),
+		RackOfSwitch: append([]int(nil), p.RackOfSwitch...),
+		SlotOfRack:   append([]int(nil), p.SlotOfRack...),
+		slotUsed:     append([]bool(nil), p.slotUsed...),
+	}
+}
+
+// adopt installs src's slot assignment and floor occupancy into p. The
+// two placements must descend from the same Greedy result (same topology
+// and rack partition).
+func (p *Placement) adopt(src *Placement) {
+	copy(p.SlotOfRack, src.SlotOfRack)
+	copy(p.slotUsed, src.slotUsed)
+	p.Floor.CopyOccupancyFrom(src.Floor)
+}
+
 // LocOfSwitch returns the floor location of a switch.
 func (p *Placement) LocOfSwitch(sw int) floorplan.RackLoc {
 	return p.Floor.LocOf(p.SlotOfRack[p.RackOfSwitch[sw]])

@@ -11,6 +11,8 @@ package solver
 import (
 	"math"
 	"math/rand/v2"
+
+	"physdep/internal/par"
 )
 
 // Annealable is a mutable optimization state that can propose local moves.
@@ -75,6 +77,43 @@ func Anneal(a Annealable, cfg AnnealConfig) AnnealResult {
 	}
 	res.FinalTemp = t
 	return res
+}
+
+// ChainSeed is the seed annealing chain c runs under for base seed s:
+// chain 0 keeps the base seed, so a one-chain restart run reproduces
+// plain Anneal exactly; higher chains get independent derived streams.
+func ChainSeed(s uint64, c int) uint64 {
+	if c == 0 {
+		return s
+	}
+	return par.SeedAt(s, c)
+}
+
+// AnnealRestarts runs one annealing chain per state in parallel — each
+// chain owns its state, chain c seeded by ChainSeed(cfg.Seed, c) — and
+// returns the index of the winning chain: lowest objective, ties broken
+// by lowest chain index. Chains are independent and their seeds are fixed
+// up front, so the winner is identical for any worker count. objective is
+// called after all chains finish, once per chain, in chain order.
+func AnnealRestarts(states []Annealable, cfg AnnealConfig, objective func(chain int) float64) (best int, chains []AnnealResult) {
+	chains = make([]AnnealResult, len(states))
+	if len(states) == 0 {
+		return 0, chains
+	}
+	par.For(len(states), func(c int) error {
+		ccfg := cfg
+		ccfg.Seed = ChainSeed(cfg.Seed, c)
+		chains[c] = Anneal(states[c], ccfg)
+		return nil
+	})
+	best = 0
+	bestObj := objective(0)
+	for c := 1; c < len(states); c++ {
+		if obj := objective(c); obj < bestObj {
+			best, bestObj = c, obj
+		}
+	}
+	return best, chains
 }
 
 // HillClimb is Anneal at zero temperature: only improving moves are

@@ -1,9 +1,11 @@
 package trafficsim
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"physdep/internal/graph"
+	"physdep/internal/par"
 	"physdep/internal/topology"
 )
 
@@ -23,20 +25,52 @@ type KSPConfig struct {
 // one hop of slack.
 func DefaultKSP() KSPConfig { return KSPConfig{K: 8, Slack: 1, Chunks: 8} }
 
+// kspScratch is the per-worker reusable state of path enumeration: the
+// BFS buffers for the per-destination distance field, the on-path marks,
+// and the dedup set with its reusable key buffer. One worker owns one
+// scratch at a time (par.ForWorker), so none of it needs locks.
+type kspScratch struct {
+	dist   []int
+	queue  []int
+	onPath []bool
+	seen   map[string]bool
+	key    []byte
+}
+
+func newKSPScratch(n int) *kspScratch {
+	return &kspScratch{
+		dist:   make([]int, n),
+		onPath: make([]bool, n),
+		seen:   make(map[string]bool, 16),
+		key:    make([]byte, 0, 64),
+	}
+}
+
+// pathKey encodes a node sequence into the scratch's reused byte buffer.
+// The fixed-width encoding is injective, so two distinct paths can never
+// collide the way a hash could — dedup semantics match exact comparison.
+func (sc *kspScratch) pathKey(nodes []int) []byte {
+	sc.key = sc.key[:0]
+	for _, u := range nodes {
+		sc.key = binary.LittleEndian.AppendUint32(sc.key, uint32(u))
+	}
+	return sc.key
+}
+
 // kShortestNodePaths enumerates up to cfg.K node-distinct paths from src
 // to dst whose length is at most dist(src,dst)+cfg.Slack, as node
 // sequences. Parallel edges between two switches are one logical hop
 // here — they are capacity, not extra path diversity — and the router
 // spreads each hop's load across them evenly. The DFS is bounded by a
 // per-node distance-to-dst check, so the search never wanders.
-func kShortestNodePaths(g *graph.Graph, src, dst int, distTo []int, cfg KSPConfig) [][]int {
+func kShortestNodePaths(g *graph.Graph, nbrs [][]int, src, dst int, distTo []int, cfg KSPConfig, sc *kspScratch) [][]int {
 	if distTo[src] < 0 {
 		return nil
 	}
 	var paths [][]int
-	seen := map[string]bool{}
+	clear(sc.seen)
 	cur := []int{src}
-	onPath := make([]bool, g.N)
+	onPath := sc.onPath
 	// Rotate neighbor exploration per (src, dst) so different pairs keep
 	// different detour sets when K caps the enumeration — otherwise every
 	// pair's spill converges on the lowest-numbered intermediates and
@@ -49,19 +83,19 @@ func kShortestNodePaths(g *graph.Graph, src, dst int, distTo []int, cfg KSPConfi
 			return
 		}
 		if u == dst {
-			sig := fmt.Sprint(cur)
-			if !seen[sig] {
-				seen[sig] = true
+			sig := sc.pathKey(cur)
+			if !sc.seen[string(sig)] {
+				sc.seen[string(sig)] = true
 				paths = append(paths, append([]int(nil), cur...))
 			}
 			return
 		}
 		onPath[u] = true
 		defer func() { onPath[u] = false }()
-		nbrs := g.Neighbors(u)
-		n := len(nbrs)
+		un := nbrs[u]
+		n := len(un)
 		for i := 0; i < n; i++ {
-			w := nbrs[(i+rot)%n]
+			w := un[(i+rot)%n]
 			if onPath[w] || distTo[w] < 0 || distTo[w] > remaining-1 {
 				continue
 			}
@@ -89,6 +123,12 @@ func kShortestNodePaths(g *graph.Graph, src, dst int, distTo []int, cfg KSPConfi
 // parallel trunk members, and returns the scaling margin α, directly
 // comparable to ECMPThroughput. This is the fair way to evaluate
 // expander fabrics, which ECMP systematically under-serves.
+//
+// Internally the expensive phase — one BFS plus up-to-K path enumeration
+// per (src,dst) pair — fans out across par.Workers() goroutines, one
+// destination per task with per-worker scratch. Load placement stays a
+// strictly sequential commit phase in the serial pair order, so the
+// returned α is byte-identical for any worker count.
 func KSPThroughput(t *topology.Topology, m Matrix, cfg KSPConfig) (float64, error) {
 	tors := t.ToRs()
 	if len(tors) != m.N {
@@ -100,6 +140,48 @@ func KSPThroughput(t *topology.Topology, m Matrix, cfg KSPConfig) (float64, erro
 	if cfg.Chunks < 1 {
 		cfg.Chunks = 8
 	}
+
+	// Phase 1 (parallel): enumerate node paths for every demanding pair,
+	// grouped by destination so each task runs one BFS.
+	type rawPair struct {
+		demand float64
+		paths  [][]int // node sequences
+	}
+	perDst := make([][]rawPair, len(tors))
+	// The DFS expands nodes far more often than there are nodes, so the
+	// sorted-neighbor view is computed once up front (itself in parallel)
+	// instead of per expansion — the dominant alloc source otherwise.
+	nbrs, _ := par.Map(t.N, func(u int) ([]int, error) { return t.Neighbors(u), nil })
+	scratch := make([]*kspScratch, par.Workers())
+	err := par.ForWorker(len(tors), func(wk, j int) error {
+		sc := scratch[wk]
+		if sc == nil {
+			sc = newKSPScratch(t.N)
+			scratch[wk] = sc
+		}
+		dst := tors[j]
+		sc.queue = t.BFSInto(dst, sc.dist, sc.queue)
+		var out []rawPair
+		for i, src := range tors {
+			d := m.D[i][j]
+			if d <= 0 || src == dst {
+				continue
+			}
+			raw := kShortestNodePaths(t.Graph, nbrs, src, dst, sc.dist, cfg, sc)
+			if len(raw) == 0 {
+				return fmt.Errorf("trafficsim: no path %d→%d", src, dst)
+			}
+			out = append(out, rawPair{demand: d, paths: raw})
+		}
+		perDst[j] = out
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	// Phase 2 (sequential): translate paths to directional trunk indices
+	// and water-fill in the fixed pair order.
 	// hop is one logical link of a path: the directional load indices of
 	// its parallel trunk members.
 	type pairPaths struct {
@@ -119,19 +201,10 @@ func KSPThroughput(t *topology.Topology, m Matrix, cfg KSPConfig) (float64, erro
 		return dirs
 	}
 	var pairs []pairPaths
-	for j, dst := range tors {
-		distTo := t.BFS(dst)
-		for i, src := range tors {
-			d := m.D[i][j]
-			if d <= 0 || src == dst {
-				continue
-			}
-			raw := kShortestNodePaths(t.Graph, src, dst, distTo, cfg)
-			if len(raw) == 0 {
-				return 0, fmt.Errorf("trafficsim: no path %d→%d", src, dst)
-			}
-			pp := pairPaths{demand: d}
-			for _, nodes := range raw {
+	for j := range tors {
+		for _, rp := range perDst[j] {
+			pp := pairPaths{demand: rp.demand}
+			for _, nodes := range rp.paths {
 				hops := make([][]int, 0, len(nodes)-1)
 				for k := 0; k+1 < len(nodes); k++ {
 					hops = append(hops, hopDirs(nodes[k], nodes[k+1]))

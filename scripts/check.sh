@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# check.sh — the repo's full verification gate. Run before every commit.
+#
+# The -race pass is not optional: the parallel execution layer
+# (internal/par and every kernel built on it) is only safe as long as
+# this stays green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "check.sh: all green"
