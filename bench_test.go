@@ -7,6 +7,7 @@ import (
 	"physdep/internal/experiments"
 	"physdep/internal/floorplan"
 	"physdep/internal/lifecycle"
+	"physdep/internal/obs"
 	"physdep/internal/placement"
 	"physdep/internal/topology"
 	"physdep/internal/trafficsim"
@@ -34,6 +35,20 @@ func benchExperiment(b *testing.B, id string) {
 }
 
 func BenchmarkE1Deployability(b *testing.B)       { benchExperiment(b, "E1") }
+
+// BenchmarkE1DeployabilityObs is BenchmarkE1Deployability with
+// observability collection enabled — the pair bounds the collection
+// overhead (the obs layer's budget is <5% on this, the heaviest
+// experiment; compare with benchstat or the raw ns/op).
+func BenchmarkE1DeployabilityObs(b *testing.B) {
+	obs.Reset()
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	benchExperiment(b, "E1")
+}
 func BenchmarkE2MediaCrossover(b *testing.B)      { benchExperiment(b, "E2") }
 func BenchmarkE3Expansion(b *testing.B)           { benchExperiment(b, "E3") }
 func BenchmarkE4JupiterConversion(b *testing.B)   { benchExperiment(b, "E4") }

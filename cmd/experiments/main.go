@@ -9,9 +9,16 @@
 //	experiments -workers 4              # cap the worker pools (also PHYSDEP_WORKERS)
 //	experiments -bench-json out.json    # benchmark experiments, write one JSON report
 //	experiments -bench-json 'BENCH_*.json'  # …or one BENCH_E<n>.json per experiment
+//	experiments -manifest m.json        # write the machine-readable run manifest
+//	experiments -trace                  # print the span tree + counters to stderr
+//	experiments -cpuprofile cpu.pprof   # runtime/pprof CPU profile of the run
+//	experiments -memprofile mem.pprof   # heap profile at end of run
+//	experiments -update-golden          # rewrite internal/experiments/testdata/golden
 //
 // Experiments run concurrently (bounded by -workers) but print in
-// presentation order; the output is byte-identical for any worker count.
+// presentation order; the output is byte-identical for any worker count,
+// and whether or not observability collection (-manifest/-trace) is on —
+// the golden-corpus tests in internal/experiments enforce both.
 //
 // Bench mode times each selected experiment at every worker count in
 // -bench-workers (default "1,N" where N is the full pool), reporting
@@ -19,6 +26,11 @@
 // trajectory is recorded by committing these BENCH_E*.json files. The
 // placement-annealing ablation kernel is benchmarked alongside under the
 // pseudo-ID ABLATION_PLACEMENT.
+//
+// The manifest (see manifest.go) is the superset of the bench report:
+// per-experiment wall/alloc plus the full span forest (each
+// core.Evaluate's placement/cabling/deploy/twin phase breakdown), kernel
+// counters, and per-worker task counts.
 package main
 
 import (
@@ -26,30 +38,87 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"physdep/internal/experiments"
 	"physdep/internal/floorplan"
+	"physdep/internal/obs"
 	"physdep/internal/par"
 	"physdep/internal/placement"
 	"physdep/internal/topology"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS or PHYSDEP_WORKERS)")
 	benchJSON := flag.String("bench-json", "", "benchmark instead of printing tables; write JSON here ('*' in the name expands per experiment)")
 	benchReps := flag.Int("bench-reps", 3, "repetitions per benchmark point (best wall-clock wins)")
 	benchWorkers := flag.String("bench-workers", "", "comma-separated worker counts to sweep in bench mode (default \"1,<pool>\")")
+	manifestPath := flag.String("manifest", "", "write a machine-readable run manifest (spans, counters, env) to this JSON file")
+	trace := flag.Bool("trace", false, "print the span tree and counters to stderr after the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at end of run to this file")
+	updateGolden := flag.Bool("update-golden", false, "rewrite the golden experiment tables under -golden-dir instead of printing")
+	goldenDir := flag.String("golden-dir", filepath.Join("internal", "experiments", "testdata", "golden"),
+		"directory -update-golden writes <ID>.txt files into")
 	flag.Parse()
 
 	if *workers > 0 {
 		par.SetWorkers(*workers)
 	}
+	if *manifestPath != "" || *trace {
+		obs.Enable()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	// Observability outputs are flushed however the run exits, so a
+	// failing experiment still leaves a manifest to debug from.
+	defer func() {
+		if *manifestPath != "" || *trace {
+			snap := obs.TakeSnapshot()
+			if *trace {
+				fmt.Fprint(os.Stderr, snap.RenderTrace())
+			}
+			if *manifestPath != "" {
+				if err := writeJSON(*manifestPath, buildManifest(snap)); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}()
+
 	order := experiments.Order()
 
 	if *list {
@@ -60,7 +129,7 @@ func main() {
 			}
 			fmt.Printf("%-4s %s\n", o.ID, o.Res.Title)
 		}
-		return
+		return 0
 	}
 
 	ids := order
@@ -70,7 +139,7 @@ func main() {
 			id = strings.TrimSpace(strings.ToUpper(id))
 			if experiments.Get(id) == nil {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
-				os.Exit(2)
+				return 2
 			}
 			ids = append(ids, id)
 		}
@@ -79,9 +148,17 @@ func main() {
 	if *benchJSON != "" {
 		if err := runBench(ids, *benchJSON, *benchReps, *benchWorkers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
+	}
+
+	if *updateGolden {
+		if err := writeGolden(ids, *goldenDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	failed := 0
@@ -94,8 +171,31 @@ func main() {
 		fmt.Println(o.Res.Render())
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// writeGolden regenerates the golden corpus: one <ID>.txt per selected
+// experiment, holding exactly Result.Render(). The committed files are
+// the canonical experiment tables the regression tests diff against —
+// rewrite them only when a table is meant to change, and review the
+// diff like code.
+func writeGolden(ids []string, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, o := range experiments.RunMany(ids) {
+		if o.Err != nil {
+			return fmt.Errorf("%s: %w", o.ID, o.Err)
+		}
+		path := filepath.Join(dir, o.ID+".txt")
+		if err := os.WriteFile(path, []byte(o.Res.Render()), 0o644); err != nil {
+			return err
+		}
+		fmt.Println(path)
+	}
+	return nil
 }
 
 // benchSample is one (worker count → cost) measurement point.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"physdep/internal/floorplan"
+	"physdep/internal/obs"
 	"physdep/internal/units"
 )
 
@@ -79,6 +80,8 @@ func (o *Options) defaults() {
 // fail on tray overload — callers inspect Plan.Tray (a twin check or
 // report surfaces it) because overload is a finding, not a planning bug.
 func PlanCables(f *floorplan.Floorplan, cat *Catalog, demands []Demand, opts Options) (*Plan, error) {
+	defer obs.Time("cabling.plan")()
+	obs.Add("cabling.plan.demands", int64(len(demands)))
 	opts.defaults()
 	p := &Plan{Tray: floorplan.NewTrayLoad(f)}
 	type pairKey struct {
@@ -134,6 +137,8 @@ func PlanCables(f *floorplan.Floorplan, cat *Catalog, demands []Demand, opts Opt
 			}
 		}
 	}
+	obs.Add("cabling.plan.cables", int64(len(p.Cables)))
+	obs.Add("cabling.plan.bundles", int64(len(p.Bundles)))
 	return p, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"physdep/internal/costmodel"
 	"physdep/internal/deploy"
 	"physdep/internal/floorplan"
+	"physdep/internal/obs"
 	"physdep/internal/placement"
 	"physdep/internal/topology"
 	"physdep/internal/twin"
@@ -112,6 +113,13 @@ func Evaluate(in Input) (*Report, error) {
 	if in.Techs == 0 {
 		in.Techs = 8
 	}
+	// One span per evaluation, with the pipeline phases as children —
+	// the trace/manifest view of where a deployability report's time
+	// goes. Concurrent Evaluates (E1/E7 fan-out) each own a root span.
+	sp := obs.StartSpan("evaluate:" + in.Topo.Name)
+	defer sp.End()
+
+	ps := sp.Child("placement")
 	f, err := floorplan.NewFloorplan(in.Hall)
 	if err != nil {
 		return nil, err
@@ -123,23 +131,37 @@ func Evaluate(in Input) (*Report, error) {
 	if in.PlacementSteps > 0 {
 		placement.OptimizeRestarts(p, in.PlacementSteps, in.Seed, in.PlacementRestarts)
 	}
+	ps.End()
+
+	cs := sp.Child("cabling")
 	plan, err := cabling.PlanCables(f, in.Catalog, p.Demands(in.ExtraLoss), cabling.Options{})
 	if err != nil {
 		return nil, err
 	}
+	cs.SetAttr("cables", int64(len(plan.Cables)))
+	cs.End()
+
+	ds := sp.Child("deploy")
 	dp := deploy.Build(p, plan, in.Model, deploy.BuildOptions{Prebundle: in.Prebundle})
 	sched, err := deploy.Execute(dp, in.Model, f, deploy.ExecOptions{Techs: in.Techs, Seed: in.Seed})
 	if err != nil {
 		return nil, err
 	}
+	ds.SetAttr("tasks", int64(len(dp.Tasks)))
+	ds.End()
+
+	ts := sp.Child("twin")
 	model, err := twin.FromNetwork(p, plan)
 	if err != nil {
 		return nil, err
 	}
 	violations := twin.CheckAll(model, twin.DefaultSchema(), twin.DefaultRules())
+	ts.End()
 
 	rep := &Report{Name: in.Topo.Name}
+	as := sp.Child("abstract")
 	rep.fillAbstract(in)
+	as.End()
 	rep.Cabling = plan.Summarize()
 	rep.Bundleability = plan.BundleabilityScore(4)
 	rep.CableCapex = rep.Cabling.MaterialCost

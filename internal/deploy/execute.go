@@ -7,6 +7,7 @@ import (
 
 	"physdep/internal/costmodel"
 	"physdep/internal/floorplan"
+	"physdep/internal/obs"
 	"physdep/internal/units"
 )
 
@@ -54,6 +55,7 @@ type ExecOptions struct {
 // relocation. Validation failures (per first-pass yield) insert rework +
 // revalidate work on the fly.
 func Execute(p *Plan, m *costmodel.Model, f *floorplan.Floorplan, opts ExecOptions) (Schedule, error) {
+	defer obs.Time("deploy.execute")()
 	if err := p.Validate(); err != nil {
 		return Schedule{}, err
 	}
@@ -214,6 +216,14 @@ func Execute(p *Plan, m *costmodel.Model, f *floorplan.Floorplan, opts ExecOptio
 		}
 	}
 	sched.OffFloorMinutes = p.OffFloorMinutes
+	if obs.Enabled() {
+		obs.Add("deploy.tasks", int64(len(tasks)))
+		obs.Add("deploy.techs", int64(opts.Techs))
+		obs.Add("deploy.connections", int64(sched.Connections))
+		obs.Add("deploy.reworks", int64(sched.Reworks))
+		obs.Add("deploy.walk_min", int64(sched.WalkMinutes))
+		obs.Add("deploy.makespan_min", int64(sched.Makespan))
+	}
 	return sched, nil
 }
 

@@ -3,41 +3,47 @@ package experiments
 import (
 	"testing"
 
+	"physdep/internal/obs"
 	"physdep/internal/par"
 )
 
 // TestExperimentsByteIdenticalAcrossWorkerCounts is the contract of the
-// parallel execution layer: every table the repo produces must be
-// byte-identical between a serial run and a maximally parallel run. E1
-// and E7 cover the deploy-pipeline and throughput fan-outs, E16 covers
-// KSP inside topology engineering.
+// parallel execution layer AND the observability layer, checked for
+// every registered experiment: the rendered table must be byte-identical
+// between a serial run with collection off and a maximally parallel run
+// with collection on — and both must match the committed golden file.
+// Parallelism is a wall-clock lever, observability a side channel;
+// neither may move a number.
 func TestExperimentsByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow; skipping in -short mode")
 	}
-	for _, id := range []string{"E1", "E7", "E16"} {
+	runAt := func(t *testing.T, id string, workers int, collect bool) string {
+		t.Helper()
+		par.SetWorkers(workers)
+		defer par.SetWorkers(0)
+		if collect {
+			obs.Enable()
+			defer func() {
+				obs.Disable()
+				obs.Reset()
+			}()
+		}
+		res, err := Get(id)()
+		if err != nil {
+			t.Fatalf("%s with workers=%d obs=%v: %v", id, workers, collect, err)
+		}
+		return res.Render()
+	}
+	for _, id := range Order() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			runAt := func(workers int) []string {
-				par.SetWorkers(workers)
-				defer par.SetWorkers(0)
-				res, err := Get(id)()
-				if err != nil {
-					t.Fatalf("%s with workers=%d: %v", id, workers, err)
-				}
-				return append([]string{res.Title, res.Paper, res.Notes}, res.Lines...)
+			serial := runAt(t, id, 1, false)
+			parallel := runAt(t, id, 8, true)
+			if serial != parallel {
+				diffGolden(t, id, parallel, serial) // names the diverging line
 			}
-			serial := runAt(1)
-			parallel := runAt(8)
-			if len(serial) != len(parallel) {
-				t.Fatalf("%s: %d lines serial vs %d parallel", id, len(serial), len(parallel))
-			}
-			for i := range serial {
-				if serial[i] != parallel[i] {
-					t.Errorf("%s line %d differs:\n  workers=1: %q\n  workers=8: %q",
-						id, i, serial[i], parallel[i])
-				}
-			}
+			diffGolden(t, id, serial, readGolden(t, id))
 		})
 	}
 }

@@ -7,9 +7,11 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
+	"physdep/internal/obs"
 	"physdep/internal/par"
 )
 
@@ -44,17 +46,31 @@ var (
 	allMap  map[string]Runner
 )
 
-// All returns the experiment registry. The map is built once and shared
-// (bench harnesses call All() per iteration); treat it as read-only.
-func All() map[string]Runner {
+// shared returns the memoized registry map. Never handed to callers —
+// All copies it so external mutation can't poison later lookups.
+func shared() map[string]Runner {
 	allOnce.Do(func() {
 		allMap = registry()
 	})
 	return allMap
 }
 
-// Get returns the runner for id, or nil if the ID is unknown.
-func Get(id string) Runner { return All()[id] }
+// All returns a fresh copy of the experiment registry. Callers may
+// mutate the returned map freely (delete entries to build subsets, etc.)
+// without affecting Get or later All calls.
+func All() map[string]Runner {
+	src := shared()
+	out := make(map[string]Runner, len(src))
+	for id, run := range src {
+		out[id] = run
+	}
+	return out
+}
+
+// Get returns the runner for id, or nil if the ID is unknown. It reads
+// the shared memoized registry directly, so it stays allocation-free on
+// the bench-harness path.
+func Get(id string) Runner { return shared()[id] }
 
 func registry() map[string]Runner {
 	return map[string]Runner{
@@ -111,7 +127,26 @@ func RunMany(ids []string) []Outcome {
 			out[k].Err = fmt.Errorf("unknown experiment %q", ids[k])
 			return nil
 		}
+		sp := obs.StartSpan("experiment:" + ids[k])
+		var m0 runtime.MemStats
+		if sp != nil {
+			runtime.ReadMemStats(&m0)
+		}
 		out[k].Res, out[k].Err = run()
+		if sp != nil {
+			// Allocation deltas are process-wide, so with concurrent
+			// experiments they over-count per experiment; they are exact
+			// when -workers=1. Wall time is the span duration.
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			sp.SetAttr("allocs", int64(m1.Mallocs-m0.Mallocs))
+			sp.SetAttr("alloc_bytes", int64(m1.TotalAlloc-m0.TotalAlloc))
+			sp.SetAttr("workers", int64(par.Workers()))
+			if out[k].Err != nil {
+				sp.SetAttr("failed", 1)
+			}
+		}
+		sp.End()
 		return nil
 	})
 	return out

@@ -1,6 +1,9 @@
 package graph
 
-import "physdep/internal/par"
+import (
+	"physdep/internal/obs"
+	"physdep/internal/par"
+)
 
 // BFS returns hop distances from src to every node; unreachable nodes get
 // -1. Edge capacities are ignored: every live edge is one hop.
@@ -57,6 +60,7 @@ const parallelSourcesMin = 24
 // (sum, max, counts), so the result is identical to the serial sweep for
 // any worker count.
 func (g *Graph) AllPairsStats(nodes []int) PathStats {
+	defer obs.Time("graph.allpairs")()
 	if nodes == nil {
 		nodes = make([]int, g.N)
 		for i := range nodes {
@@ -85,6 +89,7 @@ func (g *Graph) AllPairsStats(nodes []int) PathStats {
 			}
 		}
 	}
+	obs.Add("graph.allpairs.sources", int64(len(nodes)))
 	var parts []partial
 	if len(nodes) < parallelSourcesMin || par.Workers() == 1 {
 		parts = make([]partial, 1)

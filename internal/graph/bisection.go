@@ -3,6 +3,7 @@ package graph
 import (
 	"math/rand/v2"
 
+	"physdep/internal/obs"
 	"physdep/internal/par"
 )
 
@@ -21,6 +22,8 @@ func (g *Graph) BisectionEstimate(restarts int, rng *rand.Rand) float64 {
 	if g.N < 2 || restarts < 1 {
 		return 0
 	}
+	defer obs.Time("graph.bisection")()
+	obs.Add("graph.bisection.restarts", int64(restarts))
 	seeds := make([][2]uint64, restarts)
 	for r := range seeds {
 		seeds[r] = [2]uint64{rng.Uint64(), rng.Uint64()}

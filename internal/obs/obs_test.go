@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// reset puts the package into a known enabled state for a test and
+// restores disabled+empty afterwards.
+func reset(t *testing.T) {
+	t.Helper()
+	Reset()
+	Enable()
+	t.Cleanup(func() {
+		Disable()
+		Reset()
+	})
+}
+
+func TestCountersGaugesDisabledAreNoops(t *testing.T) {
+	Reset()
+	Disable()
+	Add("x", 5)
+	Inc("x")
+	SetGauge("g", 2.5)
+	MaxGauge("m", 9)
+	Time("t")()
+	if sp := StartSpan("root"); sp != nil {
+		t.Fatal("StartSpan while disabled should return nil")
+	}
+	s := TakeSnapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Spans) != 0 {
+		t.Fatalf("disabled collection still recorded: %+v", s)
+	}
+}
+
+func TestCountersGaugesCollect(t *testing.T) {
+	reset(t)
+	Add("k.calls", 2)
+	Inc("k.calls")
+	SetGauge("g", 1.5)
+	SetGauge("g", 2.5)
+	MaxGauge("m", 3)
+	MaxGauge("m", 1) // lower: ignored
+	s := TakeSnapshot()
+	if s.Counters["k.calls"] != 3 {
+		t.Errorf("counter = %d, want 3", s.Counters["k.calls"])
+	}
+	if s.Gauges["g"] != 2.5 {
+		t.Errorf("gauge = %v, want 2.5 (last write wins)", s.Gauges["g"])
+	}
+	if s.Gauges["m"] != 3 {
+		t.Errorf("max gauge = %v, want 3", s.Gauges["m"])
+	}
+}
+
+func TestTimeRecordsNSAndCalls(t *testing.T) {
+	reset(t)
+	for i := 0; i < 3; i++ {
+		Time("op")()
+	}
+	s := TakeSnapshot()
+	if s.Counters["op.calls"] != 3 {
+		t.Errorf("op.calls = %d, want 3", s.Counters["op.calls"])
+	}
+	if s.Counters["op.ns"] < 0 {
+		t.Errorf("op.ns = %d, want >= 0", s.Counters["op.ns"])
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	reset(t)
+	root := StartSpan("evaluate")
+	root.SetAttr("rows", 7)
+	p := root.Child("placement")
+	p.End()
+	c := root.Child("cabling")
+	g := c.Child("routing")
+	g.End()
+	c.End()
+	root.End()
+
+	s := TakeSnapshot()
+	if len(s.Spans) != 1 {
+		t.Fatalf("got %d roots, want 1", len(s.Spans))
+	}
+	r := s.Spans[0]
+	if r.Name != "evaluate" || r.Attrs["rows"] != 7 {
+		t.Fatalf("root = %+v", r)
+	}
+	if len(r.Children) != 2 || r.Children[0].Name != "placement" || r.Children[1].Name != "cabling" {
+		t.Fatalf("children = %+v", r.Children)
+	}
+	if len(r.Children[1].Children) != 1 || r.Children[1].Children[0].Name != "routing" {
+		t.Fatalf("grandchildren = %+v", r.Children[1].Children)
+	}
+	if r.DurNS < r.Children[1].DurNS {
+		t.Errorf("parent dur %d < child dur %d", r.DurNS, r.Children[1].DurNS)
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var sp *Span
+	sp.SetAttr("k", 1)
+	sp2 := sp.Child("c")
+	sp2.End()
+	sp.End()
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	reset(t)
+	Inc("c")
+	SetGauge("g", 1)
+	sp := StartSpan("s")
+	sp.End()
+	Reset()
+	s := TakeSnapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Spans) != 0 {
+		t.Fatalf("reset left state behind: %+v", s)
+	}
+}
+
+func TestRenderTrace(t *testing.T) {
+	reset(t)
+	root := StartSpan("experiment:E1")
+	ch := root.Child("deploy")
+	ch.End()
+	root.End()
+	Inc("deploy.tasks")
+	SetGauge("par.workers", 8)
+	out := TakeSnapshot().RenderTrace()
+	for _, want := range []string{"experiment:E1", "deploy", "counters:", "deploy.tasks", "gauges:", "par.workers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSortSpansStableOrder(t *testing.T) {
+	spans := []*SpanData{
+		{Name: "b", StartNS: 10},
+		{Name: "a", StartNS: 10},
+		{Name: "c", StartNS: 5},
+	}
+	SortSpans(spans)
+	got := spans[0].Name + spans[1].Name + spans[2].Name
+	if got != "cab" {
+		t.Fatalf("order = %q, want cab", got)
+	}
+}

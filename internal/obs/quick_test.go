@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCounterMergeOrderIndependent is the layer's determinism
+// property: counter totals are independent of which worker adds first.
+// For random op lists, applying the adds serially in order and applying
+// them concurrently from N goroutines in arbitrary interleavings must
+// produce identical snapshots.
+func TestQuickCounterMergeOrderIndependent(t *testing.T) {
+	type op struct {
+		Name  uint8 // folded onto a small name space so names collide often
+		Delta int16
+	}
+	f := func(ops []op) bool {
+		name := func(o op) string { return fmt.Sprintf("c%d", o.Name%8) }
+
+		Reset()
+		Enable()
+		for _, o := range ops {
+			Add(name(o), int64(o.Delta))
+		}
+		serial := TakeSnapshot().Counters
+
+		Reset()
+		const workers = 4
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Strided split: each goroutine owns a different subsequence,
+				// and the scheduler picks the interleaving.
+				for i := w; i < len(ops); i += workers {
+					Add(name(ops[i]), int64(ops[i].Delta))
+				}
+			}(w)
+		}
+		wg.Wait()
+		parallel := TakeSnapshot().Counters
+
+		Disable()
+		Reset()
+		if len(serial) != len(parallel) {
+			return false
+		}
+		for k, v := range serial {
+			if parallel[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSpansWellNested drives random push/pop sequences against the
+// span API alongside a plain tree model and checks the recorded forest
+// has exactly the model's shape, with every child's interval contained
+// in its parent's.
+func TestQuickSpansWellNested(t *testing.T) {
+	type node struct {
+		name     string
+		children []*node
+	}
+	f := func(script []uint8) bool {
+		Reset()
+		Enable()
+		defer func() {
+			Disable()
+			Reset()
+		}()
+
+		var forest []*node
+		var modelStack []*node
+		var spanStack []*Span
+		push := func(name string) {
+			n := &node{name: name}
+			if len(modelStack) == 0 {
+				forest = append(forest, n)
+				spanStack = append(spanStack, StartSpan(name))
+			} else {
+				parent := modelStack[len(modelStack)-1]
+				parent.children = append(parent.children, n)
+				spanStack = append(spanStack, spanStack[len(spanStack)-1].Child(name))
+			}
+			modelStack = append(modelStack, n)
+		}
+		pop := func() {
+			spanStack[len(spanStack)-1].End()
+			spanStack = spanStack[:len(spanStack)-1]
+			modelStack = modelStack[:len(modelStack)-1]
+		}
+		for i, b := range script {
+			if b%3 == 0 && len(modelStack) > 0 {
+				pop()
+			} else {
+				push(fmt.Sprintf("s%d", i))
+			}
+		}
+		for len(modelStack) > 0 {
+			pop()
+		}
+
+		snap := TakeSnapshot()
+		// Ended in completion order; compare as sets via sort-by-start.
+		SortSpans(snap.Spans)
+
+		var match func(model []*node, got []*SpanData) bool
+		match = func(model []*node, got []*SpanData) bool {
+			if len(model) != len(got) {
+				return false
+			}
+			byName := map[string]*SpanData{}
+			for _, g := range got {
+				byName[g.Name] = g
+			}
+			for _, m := range model {
+				g := byName[m.name]
+				if g == nil || !match(m.children, g.Children) {
+					return false
+				}
+			}
+			return true
+		}
+		if !match(forest, snap.Spans) {
+			return false
+		}
+		var contained func(sp *SpanData) bool
+		contained = func(sp *SpanData) bool {
+			for _, c := range sp.Children {
+				if c.StartNS < sp.StartNS || c.StartNS+c.DurNS > sp.StartNS+sp.DurNS {
+					return false
+				}
+				if !contained(c) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, sp := range snap.Spans {
+			if !contained(sp) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

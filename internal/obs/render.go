@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderTrace formats the snapshot for humans: the span forest as an
+// indented tree with durations and attrs, followed by counters and
+// gauges in sorted name order. cmd/experiments -trace prints this to
+// stderr.
+func (s Snapshot) RenderTrace() string {
+	var b strings.Builder
+	spans := append([]*SpanData(nil), s.Spans...)
+	SortSpans(spans)
+	if len(spans) > 0 {
+		b.WriteString("spans:\n")
+		for _, sp := range spans {
+			renderSpan(&b, sp, 1)
+		}
+	}
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, name := range sortedKeys(s.Counters) {
+			if strings.HasSuffix(name, ".ns") {
+				fmt.Fprintf(&b, "  %-44s %s\n", name, fmtNS(s.Counters[name]))
+				continue
+			}
+			fmt.Fprintf(&b, "  %-44s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-44s %g\n", name, s.Gauges[name])
+		}
+	}
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, sp *SpanData, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%-*s %10s", indent, 46-2*depth, sp.Name, fmtNS(sp.DurNS))
+	if len(sp.Attrs) > 0 {
+		for _, k := range sortedKeys(sp.Attrs) {
+			fmt.Fprintf(b, "  %s=%d", k, sp.Attrs[k])
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range sp.Children {
+		renderSpan(b, c, depth+1)
+	}
+}
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

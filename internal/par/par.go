@@ -24,12 +24,15 @@
 package par
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"physdep/internal/obs"
 )
 
 // EnvWorkers is the environment variable that overrides the worker count
@@ -84,12 +87,25 @@ func ForWorker(n int, fn func(worker, i int) error) error {
 	if w > n {
 		w = n
 	}
+	// Pool-occupancy accounting is a side channel: loops and widths are
+	// counted once per fan-out, tasks once per worker drain, so enabling
+	// collection adds no per-item work inside fn.
+	collect := obs.Enabled()
+	if collect {
+		obs.Inc("par.loops")
+		obs.Add("par.loop_width", int64(w))
+		obs.MaxGauge("par.peak_width", float64(w))
+		obs.SetGauge("par.workers", float64(Workers()))
+	}
 	if w <= 1 {
-		for i := 0; i < n; i++ {
+		i := 0
+		for ; i < n; i++ {
 			if err := fn(0, i); err != nil {
+				countTasks(collect, 0, i+1)
 				return err
 			}
 		}
+		countTasks(collect, 0, n)
 		return nil
 	}
 	var (
@@ -104,11 +120,14 @@ func ForWorker(n int, fn func(worker, i int) error) error {
 		wg.Add(1)
 		go func(wk int) {
 			defer wg.Done()
+			ran := 0
 			for {
 				i := next.Add(1) - 1
 				if i >= int64(n) || i >= stop.Load() {
+					countTasks(collect, wk, ran)
 					return
 				}
+				ran++
 				if err := fn(wk, int(i)); err != nil {
 					mu.Lock()
 					if i < stop.Load() {
@@ -122,6 +141,17 @@ func ForWorker(n int, fn func(worker, i int) error) error {
 	}
 	wg.Wait()
 	return first
+}
+
+// countTasks records one worker's executed-task count: the process-wide
+// total plus a per-worker-id counter, the occupancy breakdown the run
+// manifest reports.
+func countTasks(collect bool, wk, ran int) {
+	if !collect || ran == 0 {
+		return
+	}
+	obs.Add("par.tasks", int64(ran))
+	obs.Add(fmt.Sprintf("par.worker.%02d.tasks", wk), int64(ran))
 }
 
 // Map runs fn(i) for i in [0, n) in parallel and returns the results in

@@ -4,6 +4,7 @@ import (
 	"math/rand/v2"
 	"sort"
 
+	"physdep/internal/obs"
 	"physdep/internal/solver"
 	"physdep/internal/units"
 )
@@ -129,10 +130,13 @@ func (s *annealState) Propose(rng *rand.Rand) (float64, func(), bool) {
 // Optimize improves the placement by simulated annealing, returning the
 // cable-length before and after. The placement is modified in place.
 func Optimize(p *Placement, steps int, seed uint64) (before, after units.Meters) {
+	defer obs.Time("placement.optimize")()
 	before = p.CableLength()
 	st := newAnnealState(p)
 	solver.Anneal(st, annealConfig(before, steps, seed))
-	return before, p.CableLength()
+	after = p.CableLength()
+	obs.Add("placement.optimize.saved_m", int64(before-after))
+	return before, after
 }
 
 func annealConfig(before units.Meters, steps int, seed uint64) solver.AnnealConfig {
@@ -154,6 +158,7 @@ func OptimizeRestarts(p *Placement, steps int, seed uint64, restarts int) (befor
 	if restarts <= 1 {
 		return Optimize(p, steps, seed)
 	}
+	defer obs.Time("placement.optimize")()
 	before = p.CableLength()
 	clones := make([]*Placement, restarts)
 	states := make([]solver.Annealable, restarts)
@@ -164,7 +169,10 @@ func OptimizeRestarts(p *Placement, steps int, seed uint64, restarts int) (befor
 	best, _ := solver.AnnealRestarts(states, annealConfig(before, steps, seed),
 		func(c int) float64 { return float64(clones[c].CableLength()) })
 	p.adopt(clones[best])
-	return before, p.CableLength()
+	after = p.CableLength()
+	obs.Add("placement.optimize.restarts", int64(restarts))
+	obs.Add("placement.optimize.saved_m", int64(before-after))
+	return before, after
 }
 
 // HillClimbOptimize is the zero-temperature ablation baseline.

@@ -9,9 +9,11 @@
 package solver
 
 import (
+	"fmt"
 	"math"
 	"math/rand/v2"
 
+	"physdep/internal/obs"
 	"physdep/internal/par"
 )
 
@@ -76,6 +78,9 @@ func Anneal(a Annealable, cfg AnnealConfig) AnnealResult {
 		t *= cool
 	}
 	res.FinalTemp = t
+	obs.Add("solver.anneal.steps", int64(cfg.Steps))
+	obs.Add("solver.anneal.accepted", int64(res.Accepted))
+	obs.Add("solver.anneal.rejected", int64(res.Rejected))
 	return res
 }
 
@@ -100,12 +105,23 @@ func AnnealRestarts(states []Annealable, cfg AnnealConfig, objective func(chain 
 	if len(states) == 0 {
 		return 0, chains
 	}
+	defer obs.Time("solver.restarts")()
 	par.For(len(states), func(c int) error {
 		ccfg := cfg
 		ccfg.Seed = ChainSeed(cfg.Seed, c)
 		chains[c] = Anneal(states[c], ccfg)
 		return nil
 	})
+	if obs.Enabled() {
+		// Per-chain accept/reject breakdown, aggregated by chain index
+		// across calls; chain totals are order-independent counters, so the
+		// record is identical for any worker schedule.
+		obs.Add("solver.restarts.chains", int64(len(states)))
+		for c, ch := range chains {
+			obs.Add(fmt.Sprintf("solver.restarts.chain.%02d.accepted", c), int64(ch.Accepted))
+			obs.Add(fmt.Sprintf("solver.restarts.chain.%02d.rejected", c), int64(ch.Rejected))
+		}
+	}
 	best = 0
 	bestObj := objective(0)
 	for c := 1; c < len(states); c++ {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"physdep/internal/graph"
+	"physdep/internal/obs"
 	"physdep/internal/par"
 	"physdep/internal/topology"
 )
@@ -140,9 +141,11 @@ func KSPThroughput(t *topology.Topology, m Matrix, cfg KSPConfig) (float64, erro
 	if cfg.Chunks < 1 {
 		cfg.Chunks = 8
 	}
+	defer obs.Time("trafficsim.ksp")()
 
 	// Phase 1 (parallel): enumerate node paths for every demanding pair,
 	// grouped by destination so each task runs one BFS.
+	stopEnum := obs.Time("trafficsim.ksp.enumerate")
 	type rawPair struct {
 		demand float64
 		paths  [][]int // node sequences
@@ -176,12 +179,14 @@ func KSPThroughput(t *topology.Topology, m Matrix, cfg KSPConfig) (float64, erro
 		perDst[j] = out
 		return nil
 	})
+	stopEnum()
 	if err != nil {
 		return 0, err
 	}
 
 	// Phase 2 (sequential): translate paths to directional trunk indices
 	// and water-fill in the fixed pair order.
+	defer obs.Time("trafficsim.ksp.waterfill")()
 	// hop is one logical link of a path: the directional load indices of
 	// its parallel trunk members.
 	type pairPaths struct {
@@ -213,6 +218,14 @@ func KSPThroughput(t *topology.Topology, m Matrix, cfg KSPConfig) (float64, erro
 			}
 			pairs = append(pairs, pp)
 		}
+	}
+	if obs.Enabled() {
+		paths := 0
+		for _, pp := range pairs {
+			paths += len(pp.paths)
+		}
+		obs.Add("trafficsim.ksp.pairs", int64(len(pairs)))
+		obs.Add("trafficsim.ksp.paths", int64(paths))
 	}
 	load := make([]float64, 2*len(t.Edges))
 	for c := 0; c < cfg.Chunks; c++ {

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# check.sh — the repo's full verification gate. Run before every commit.
+# check.sh — the repo's full verification gate. Run before every commit
+# (CI runs exactly this via .github/workflows/check.yml).
 #
 # The -race pass is not optional: the parallel execution layer
 # (internal/par and every kernel built on it) is only safe as long as
 # this stays green.
+#
+# Observability: the race pass already covers the obs-on/obs-off
+# byte-identity and golden-corpus tests in internal/experiments; the
+# smoke step below additionally proves the CLI plumbing end to end —
+# a -manifest/-trace run must produce a non-empty manifest with spans.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,5 +21,13 @@ go build ./...
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== observability smoke (manifest + trace)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/experiments -run E2 -manifest "$tmp/manifest.json" -trace \
+  >/dev/null 2>"$tmp/trace.txt"
+grep -q '"experiment:E2"' "$tmp/manifest.json"
+grep -q 'counters:' "$tmp/trace.txt"
 
 echo "check.sh: all green"
