@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseBenchWorkers expands the -bench-workers flag into the worker
+// counts to sweep. An empty flag gives the default sweep: serial plus the
+// full pool (just serial when the pool is 1). Entries must be positive
+// integers, and duplicates are rejected — a repeated count would silently
+// skew the recorded scaling curve (two samples at one width, best-of
+// picking across both).
+func parseBenchWorkers(s string, pool int) ([]int, error) {
+	if s == "" {
+		counts := []int{1}
+		if pool > 1 {
+			counts = append(counts, pool)
+		}
+		return counts, nil
+	}
+	seen := map[int]bool{}
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -bench-workers entry %q: want a positive integer", part)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("duplicate -bench-workers entry %d", n)
+		}
+		seen[n] = true
+		counts = append(counts, n)
+	}
+	return counts, nil
+}

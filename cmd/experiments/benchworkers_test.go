@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseBenchWorkers(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		pool    int
+		want    []int
+		wantErr bool
+	}{
+		{name: "default with pool", in: "", pool: 8, want: []int{1, 8}},
+		{name: "default serial pool", in: "", pool: 1, want: []int{1}},
+		{name: "explicit list", in: "1,2,4", pool: 8, want: []int{1, 2, 4}},
+		{name: "whitespace tolerated", in: " 1 , 2 ", pool: 8, want: []int{1, 2}},
+		{name: "malformed entry", in: "1,two", pool: 8, wantErr: true},
+		{name: "empty entry", in: "1,,2", pool: 8, wantErr: true},
+		{name: "zero", in: "0", pool: 8, wantErr: true},
+		{name: "negative", in: "-3", pool: 8, wantErr: true},
+		{name: "float", in: "1.5", pool: 8, wantErr: true},
+		{name: "duplicate", in: "1,2,1", pool: 8, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseBenchWorkers(tc.in, tc.pool)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parseBenchWorkers(%q) = %v, want error", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseBenchWorkers(%q): %v", tc.in, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("parseBenchWorkers(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("parseBenchWorkers(%q) = %v, want %v", tc.in, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// FuzzBenchWorkersFlag asserts the flag parser's contract on arbitrary
+// input: it never panics, and whatever it accepts is a non-empty list of
+// positive, pairwise-distinct worker counts.
+func FuzzBenchWorkersFlag(f *testing.F) {
+	f.Add("")
+	f.Add("1,2,4")
+	f.Add(" 8 ")
+	// Regression seeds: the malformed and duplicate shapes that used to be
+	// tolerated or half-parsed.
+	f.Add("1,two")
+	f.Add("1,,2")
+	f.Add("1,2,1")
+	f.Add("-1")
+	f.Add("999999999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		counts, err := parseBenchWorkers(s, 8)
+		if err != nil {
+			return
+		}
+		if len(counts) == 0 {
+			t.Fatalf("parseBenchWorkers(%q) accepted but returned no counts", s)
+		}
+		seen := map[int]bool{}
+		for _, n := range counts {
+			if n < 1 {
+				t.Fatalf("parseBenchWorkers(%q) accepted non-positive count %d", s, n)
+			}
+			if seen[n] {
+				t.Fatalf("parseBenchWorkers(%q) accepted duplicate count %d", s, n)
+			}
+			seen[n] = true
+		}
+	})
+}

@@ -41,7 +41,6 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 	"time"
 
@@ -57,7 +56,17 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (exit int) {
+	// fail reports an output-writing error and makes the run exit nonzero
+	// without masking an earlier failure code. Deferred flushes use it so
+	// a manifest or profile that never hit the disk cannot look like
+	// success (the named return is what lets a defer change the code).
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		if exit == 0 {
+			exit = 1
+		}
+	}
 	runList := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS or PHYSDEP_WORKERS)")
@@ -86,10 +95,16 @@ func run() int {
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail(fmt.Errorf("cpuprofile: %w", err))
+			}
+		}()
 	}
 	// Observability outputs are flushed however the run exits, so a
 	// failing experiment still leaves a manifest to debug from.
@@ -101,20 +116,22 @@ func run() int {
 			}
 			if *manifestPath != "" {
 				if err := writeJSON(*manifestPath, buildManifest(snap)); err != nil {
-					fmt.Fprintln(os.Stderr, err)
+					fail(fmt.Errorf("manifest: %w", err))
 				}
 			}
 		}
 		if *memprofile != "" {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fail(fmt.Errorf("memprofile: %w", err))
 				return
 			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
+				fail(fmt.Errorf("memprofile: %w", err))
+			}
+			if err := f.Close(); err != nil {
+				fail(fmt.Errorf("memprofile: %w", err))
 			}
 		}
 	}()
@@ -224,19 +241,9 @@ func runBench(ids []string, outPath string, reps int, workerList string) error {
 		reps = 1
 	}
 	pool := par.Workers()
-	counts := []int{1}
-	if pool > 1 {
-		counts = append(counts, pool)
-	}
-	if workerList != "" {
-		counts = nil
-		for _, s := range strings.Split(workerList, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 1 {
-				return fmt.Errorf("bad -bench-workers entry %q", s)
-			}
-			counts = append(counts, n)
-		}
+	counts, err := parseBenchWorkers(workerList, pool)
+	if err != nil {
+		return err
 	}
 	defer par.SetWorkers(pool)
 

@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"physdep/internal/physerr"
 	"physdep/internal/units"
 )
 
@@ -111,7 +112,9 @@ type Catalog struct {
 }
 
 // ErrNoMedia is returned (wrapped) when no catalog entry can serve a link.
-var ErrNoMedia = fmt.Errorf("cabling: no feasible media")
+// It wraps physerr.ErrInfeasibleMedia, so callers may classify with either
+// sentinel.
+var ErrNoMedia = fmt.Errorf("cabling: %w", physerr.ErrInfeasibleMedia)
 
 // Select returns the cheapest spec that can carry rate over length with
 // the given mid-span loss. Electrical media are infeasible whenever

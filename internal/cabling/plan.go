@@ -6,6 +6,7 @@ import (
 
 	"physdep/internal/floorplan"
 	"physdep/internal/obs"
+	"physdep/internal/physerr"
 	"physdep/internal/units"
 )
 
@@ -62,6 +63,21 @@ type Options struct {
 	Filter func(Spec) bool
 }
 
+// Validate rejects nonsensical planning knobs (zero means "use the
+// default" throughout).
+func (o Options) Validate() error {
+	if o.MinBundleSize < 0 {
+		return physerr.OutOfRange("cabling: MinBundleSize must be >= 0, got %d", o.MinBundleSize)
+	}
+	if o.PackingFactor != 0 && o.PackingFactor < 1 {
+		return physerr.OutOfRange("cabling: PackingFactor must be >= 1 (or 0 for the default), got %v", o.PackingFactor)
+	}
+	if o.MaxBundleCables < 0 {
+		return physerr.OutOfRange("cabling: MaxBundleCables must be >= 0, got %d", o.MaxBundleCables)
+	}
+	return nil
+}
+
 func (o *Options) defaults() {
 	if o.MinBundleSize == 0 {
 		o.MinBundleSize = 4
@@ -82,6 +98,9 @@ func (o *Options) defaults() {
 func PlanCables(f *floorplan.Floorplan, cat *Catalog, demands []Demand, opts Options) (*Plan, error) {
 	defer obs.Time("cabling.plan")()
 	obs.Add("cabling.plan.demands", int64(len(demands)))
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	opts.defaults()
 	p := &Plan{Tray: floorplan.NewTrayLoad(f)}
 	type pairKey struct {
@@ -89,7 +108,10 @@ func PlanCables(f *floorplan.Floorplan, cat *Catalog, demands []Demand, opts Opt
 	}
 	groups := map[pairKey][]int{}
 	for _, d := range demands {
-		route := f.RouteBetween(d.From, d.To)
+		route, err := f.RouteBetween(d.From, d.To)
+		if err != nil {
+			return nil, fmt.Errorf("cabling: demand %d: %w", d.ID, err)
+		}
 		spec, err := cat.SelectFiltered(d.Rate, route.Length, d.ExtraLoss, opts.Filter)
 		if err != nil {
 			return nil, fmt.Errorf("demand %d (%v→%v): %w", d.ID, d.From, d.To, err)

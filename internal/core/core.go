@@ -16,6 +16,7 @@ import (
 	"physdep/internal/deploy"
 	"physdep/internal/floorplan"
 	"physdep/internal/obs"
+	"physdep/internal/physerr"
 	"physdep/internal/placement"
 	"physdep/internal/topology"
 	"physdep/internal/twin"
@@ -99,10 +100,29 @@ type Report struct {
 	DiversityRadixs int  // distinct radixes absorbed
 }
 
+// Validate rejects malformed evaluator inputs: a missing topology or
+// negative tuning knobs (zero means "use the default"). The Hall itself
+// is validated by floorplan.NewFloorplan inside Evaluate.
+func (in Input) Validate() error {
+	if in.Topo == nil {
+		return physerr.OutOfRange("core: nil topology")
+	}
+	if in.PlacementSteps < 0 {
+		return physerr.OutOfRange("core: PlacementSteps must be >= 0, got %d", in.PlacementSteps)
+	}
+	if in.PlacementRestarts < 0 {
+		return physerr.OutOfRange("core: PlacementRestarts must be >= 0, got %d", in.PlacementRestarts)
+	}
+	if in.Techs < 0 {
+		return physerr.OutOfRange("core: Techs must be >= 0, got %d", in.Techs)
+	}
+	return nil
+}
+
 // Evaluate runs the full pipeline. It is deterministic per Input.Seed.
 func Evaluate(in Input) (*Report, error) {
-	if in.Topo == nil {
-		return nil, fmt.Errorf("core: nil topology")
+	if err := in.Validate(); err != nil {
+		return nil, err
 	}
 	if in.Catalog == nil {
 		in.Catalog = cabling.DefaultCatalog()

@@ -9,6 +9,7 @@ package floorplan
 import (
 	"fmt"
 
+	"physdep/internal/physerr"
 	"physdep/internal/units"
 )
 
@@ -50,6 +51,38 @@ func DefaultHall(rows, racksPerRow int) Hall {
 	}
 }
 
+// MaxRacks bounds how many rack slots a hall may declare. Real halls top
+// out in the low thousands of racks; the bound exists so an absurd or
+// corrupted Hall fails validation instead of exhausting memory.
+const MaxRacks = 1 << 20
+
+// Validate checks that the hall's geometry is physically meaningful: at
+// least one row and slot (and no more than MaxRacks total), non-negative
+// pitches and riser length, and a slack factor of at least 1. Violations
+// wrap physerr.ErrOutOfRange.
+func (h Hall) Validate() error {
+	if h.Rows < 1 || h.RacksPerRow < 1 {
+		return physerr.OutOfRange("floorplan: need at least one row and one slot, got %dx%d", h.Rows, h.RacksPerRow)
+	}
+	if h.Rows > MaxRacks || h.RacksPerRow > MaxRacks || h.Rows*h.RacksPerRow > MaxRacks {
+		return physerr.OutOfRange("floorplan: %dx%d hall exceeds %d rack slots", h.Rows, h.RacksPerRow, MaxRacks)
+	}
+	if h.RackPitch < 0 || h.RowPitch < 0 || h.RiserLength < 0 {
+		return physerr.OutOfRange("floorplan: negative pitch or riser (pitch %v/%v, riser %v)",
+			h.RackPitch, h.RowPitch, h.RiserLength)
+	}
+	if h.SlackFactor < 1 {
+		return physerr.OutOfRange("floorplan: SlackFactor %v < 1", h.SlackFactor)
+	}
+	if h.DoorWidth < 0 || h.RackWidth < 0 {
+		return physerr.OutOfRange("floorplan: negative door or rack width (%v, %v)", h.DoorWidth, h.RackWidth)
+	}
+	if h.TrayCapacity < 0 || h.PlenumCapacity < 0 || h.RackUnits < 0 {
+		return physerr.OutOfRange("floorplan: negative tray/plenum/RU capacity")
+	}
+	return nil
+}
+
 // RackLoc addresses one rack slot.
 type RackLoc struct {
 	Row  int
@@ -66,11 +99,8 @@ type Floorplan struct {
 
 // NewFloorplan validates the hall and returns an empty floorplan.
 func NewFloorplan(h Hall) (*Floorplan, error) {
-	if h.Rows < 1 || h.RacksPerRow < 1 {
-		return nil, fmt.Errorf("floorplan: need at least one row and one slot, got %dx%d", h.Rows, h.RacksPerRow)
-	}
-	if h.SlackFactor < 1 {
-		return nil, fmt.Errorf("floorplan: SlackFactor %v < 1", h.SlackFactor)
+	if err := h.Validate(); err != nil {
+		return nil, err
 	}
 	return &Floorplan{Hall: h, usedRU: make([]int, h.Rows*h.RacksPerRow)}, nil
 }
@@ -87,10 +117,17 @@ func (f *Floorplan) LocOf(idx int) RackLoc {
 }
 
 // ReserveRU claims ru rack units in rack idx, failing when the rack is
-// full. Placement uses this to pack switches.
+// full (wrapping physerr.ErrCapacity) or when idx/ru are malformed
+// (wrapping physerr.ErrOutOfRange). Placement uses this to pack switches.
 func (f *Floorplan) ReserveRU(idx, ru int) error {
+	if idx < 0 || idx >= len(f.usedRU) {
+		return physerr.OutOfRange("floorplan: rack index %d outside [0,%d)", idx, len(f.usedRU))
+	}
+	if ru < 0 {
+		return physerr.OutOfRange("floorplan: cannot reserve %d RU", ru)
+	}
 	if f.usedRU[idx]+ru > f.RackUnits {
-		return fmt.Errorf("floorplan: rack %v full (%d + %d > %d RU)",
+		return physerr.Capacity("floorplan: rack %v full (%d + %d > %d RU)",
 			f.LocOf(idx), f.usedRU[idx], ru, f.RackUnits)
 	}
 	f.usedRU[idx] += ru

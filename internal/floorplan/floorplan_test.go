@@ -1,10 +1,12 @@
 package floorplan
 
 import (
+	"errors"
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
 
+	"physdep/internal/physerr"
 	"physdep/internal/units"
 )
 
@@ -53,7 +55,10 @@ func TestReserveRU(t *testing.T) {
 
 func TestIntraRackRoute(t *testing.T) {
 	f := testHall(t, 2, 4)
-	r := f.RouteBetween(RackLoc{0, 1}, RackLoc{0, 1})
+	r, err := f.RouteBetween(RackLoc{0, 1}, RackLoc{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.IntraRack || r.Length != intraRackLen || len(r.Segments) != 0 {
 		t.Errorf("intra-rack route = %+v", r)
 	}
@@ -61,7 +66,10 @@ func TestIntraRackRoute(t *testing.T) {
 
 func TestSameRowRoute(t *testing.T) {
 	f := testHall(t, 2, 10)
-	r := f.RouteBetween(RackLoc{0, 2}, RackLoc{0, 5})
+	r, err := f.RouteBetween(RackLoc{0, 2}, RackLoc{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 2 risers (2.5 each) + 3 slots * 0.7, times slack 1.15.
 	want := units.Meters((2*2.5 + 3*0.7) * 1.15)
 	if diff := float64(r.Length - want); diff > 1e-9 || diff < -1e-9 {
@@ -75,7 +83,10 @@ func TestSameRowRoute(t *testing.T) {
 func TestCrossRowRouteChoosesShorterSpine(t *testing.T) {
 	f := testHall(t, 3, 10)
 	// Both racks near the right end: route must use the right spine.
-	r := f.RouteBetween(RackLoc{0, 8}, RackLoc{2, 9})
+	r, err := f.RouteBetween(RackLoc{0, 8}, RackLoc{2, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Right run = (9-8)+(9-9) = 1 slot; 2 rows of row pitch.
 	want := units.Meters((2*2.5 + 1*0.7 + 2*1.8) * 1.15)
 	if diff := float64(r.Length - want); diff > 1e-9 || diff < -1e-9 {
@@ -91,7 +102,7 @@ func TestCrossRowRouteChoosesShorterSpine(t *testing.T) {
 func TestRouteSymmetry(t *testing.T) {
 	f := testHall(t, 4, 8)
 	a, b := RackLoc{1, 2}, RackLoc{3, 6}
-	ra, rb := f.RouteBetween(a, b), f.RouteBetween(b, a)
+	ra, rb := f.MustRouteBetween(a, b), f.MustRouteBetween(b, a)
 	if ra.Length != rb.Length {
 		t.Errorf("asymmetric route length: %v vs %v", ra.Length, rb.Length)
 	}
@@ -100,14 +111,28 @@ func TestRouteSymmetry(t *testing.T) {
 	}
 }
 
-func TestRouteOutOfRangePanics(t *testing.T) {
+func TestRouteOutOfRangeReturnsError(t *testing.T) {
+	f := testHall(t, 2, 2)
+	for _, pair := range [][2]RackLoc{
+		{{0, 0}, {5, 0}},
+		{{5, 0}, {0, 0}},
+		{{0, -1}, {0, 0}},
+		{{0, 0}, {-3, 7}},
+	} {
+		if _, err := f.RouteBetween(pair[0], pair[1]); !errors.Is(err, physerr.ErrOutOfRange) {
+			t.Errorf("RouteBetween(%v, %v) err = %v, want ErrOutOfRange", pair[0], pair[1], err)
+		}
+	}
+}
+
+func TestMustRouteBetweenPanicsOutOfHall(t *testing.T) {
 	f := testHall(t, 2, 2)
 	defer func() {
 		if recover() == nil {
 			t.Error("out-of-range rack did not panic")
 		}
 	}()
-	f.RouteBetween(RackLoc{0, 0}, RackLoc{5, 0})
+	f.MustRouteBetween(RackLoc{0, 0}, RackLoc{5, 0})
 }
 
 func TestSegmentIDsDisjoint(t *testing.T) {
@@ -139,7 +164,7 @@ func TestSegmentIDsDisjoint(t *testing.T) {
 func TestTrayLoadAccounting(t *testing.T) {
 	f := testHall(t, 2, 6)
 	tl := NewTrayLoad(f)
-	r := f.RouteBetween(RackLoc{0, 0}, RackLoc{0, 3})
+	r := f.MustRouteBetween(RackLoc{0, 0}, RackLoc{0, 3})
 	tl.Add(r, 100)
 	tl.Add(r, 100)
 	for _, s := range r.Segments {
@@ -201,7 +226,7 @@ func TestQuickRouteBounds(t *testing.T) {
 		rng := rand.New(rand.NewPCG(seed, 99))
 		a := RackLoc{Row: rng.IntN(5), Slot: rng.IntN(12)}
 		b := RackLoc{Row: rng.IntN(5), Slot: rng.IntN(12)}
-		r := f.RouteBetween(a, b)
+		r := f.MustRouteBetween(a, b)
 		if r.Length <= 0 || float64(r.Length) > maxLen+1e-9 {
 			return false
 		}

@@ -1,8 +1,7 @@
 package floorplan
 
 import (
-	"fmt"
-
+	"physdep/internal/physerr"
 	"physdep/internal/units"
 )
 
@@ -42,13 +41,36 @@ func (f *Floorplan) spineSegment(r, end int) int {
 // rise from the rack into its row tray, run along the row, cross between
 // rows on the nearer spine tray, and descend at the destination. Length
 // includes both risers and the hall's slack factor.
-func (f *Floorplan) RouteBetween(a, b RackLoc) Route {
-	if err := f.checkLoc(a); err != nil {
+//
+// A location outside the hall returns an error wrapping
+// physerr.ErrOutOfRange — it used to panic, which let one malformed
+// demand crash a whole evaluation.
+func (f *Floorplan) RouteBetween(a, b RackLoc) (Route, error) {
+	if err := f.CheckLoc(a); err != nil {
+		return Route{}, err
+	}
+	if err := f.CheckLoc(b); err != nil {
+		return Route{}, err
+	}
+	return f.route(a, b), nil
+}
+
+// MustRouteBetween is RouteBetween for locations already known to be on
+// the floor — placement and deployment code whose own bookkeeping
+// guarantees validity. It panics on an out-of-hall location, which there
+// always indicates a bug in the caller, not bad user input.
+func (f *Floorplan) MustRouteBetween(a, b RackLoc) Route {
+	if err := f.CheckLoc(a); err != nil {
 		panic(err)
 	}
-	if err := f.checkLoc(b); err != nil {
+	if err := f.CheckLoc(b); err != nil {
 		panic(err)
 	}
+	return f.route(a, b)
+}
+
+// route computes the tray route between two validated locations.
+func (f *Floorplan) route(a, b RackLoc) Route {
 	if a == b {
 		return Route{From: a, To: b, Length: intraRackLen, IntraRack: true}
 	}
@@ -110,9 +132,11 @@ func (f *Floorplan) rowSpanToEnd(l RackLoc, end int) []int {
 	return segs
 }
 
-func (f *Floorplan) checkLoc(l RackLoc) error {
+// CheckLoc reports whether l addresses a slot of this hall; an
+// out-of-hall location yields an error wrapping physerr.ErrOutOfRange.
+func (f *Floorplan) CheckLoc(l RackLoc) error {
 	if l.Row < 0 || l.Row >= f.Rows || l.Slot < 0 || l.Slot >= f.RacksPerRow {
-		return fmt.Errorf("floorplan: rack %v outside %dx%d hall", l, f.Rows, f.RacksPerRow)
+		return physerr.OutOfRange("floorplan: rack %v outside %dx%d hall", l, f.Rows, f.RacksPerRow)
 	}
 	return nil
 }

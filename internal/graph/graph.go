@@ -12,6 +12,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"physdep/internal/physerr"
 )
 
 // Edge is one undirected link between two nodes. Multigraphs are allowed:
@@ -47,9 +49,22 @@ type Graph struct {
 	adj   [][]int // adj[u] = edge IDs incident to u; self-loops appear twice
 }
 
-// New returns a graph with n nodes and no edges.
+// New returns a graph with n nodes and no edges. It panics on negative n;
+// callers taking node counts from user input should use NewChecked.
 func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: New(%d): negative node count", n))
+	}
 	return &Graph{N: n, adj: make([][]int, n)}
+}
+
+// NewChecked is New with the node count treated as user input: negative n
+// becomes an error (wrapping physerr.ErrOutOfRange) instead of a panic.
+func NewChecked(n int) (*Graph, error) {
+	if n < 0 {
+		return nil, physerr.OutOfRange("graph: node count must be >= 0, got %d", n)
+	}
+	return New(n), nil
 }
 
 // AddNode appends one node and returns its ID.

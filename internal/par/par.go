@@ -42,6 +42,33 @@ const EnvWorkers = "PHYSDEP_WORKERS"
 
 var workerOverride atomic.Int64
 
+// envWorkers caches the one-time parse of PHYSDEP_WORKERS. Workers() sits
+// inside every parallel fan-out, so it must not hit the environment (a
+// syscall on some platforms) and re-parse on each call; the variable
+// cannot change mid-process anyway. Tests that mutate the environment
+// reset the cache via resetEnvCache.
+var envWorkers = sync.OnceValue(readEnvWorkers)
+
+// readEnvWorkers parses PHYSDEP_WORKERS once. Unset returns 0 (no
+// override); a malformed or non-positive value warns once on stderr and
+// is ignored rather than silently changing the worker count.
+func readEnvWorkers() int {
+	s := os.Getenv(EnvWorkers)
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		fmt.Fprintf(os.Stderr, "physdep: ignoring %s=%q: want a positive integer\n", EnvWorkers, s)
+		return 0
+	}
+	return n
+}
+
+// resetEnvCache re-arms the PHYSDEP_WORKERS parse; for tests using
+// t.Setenv only.
+func resetEnvCache() { envWorkers = sync.OnceValue(readEnvWorkers) }
+
 // Workers returns the worker count parallel loops will use: the
 // SetWorkers override if set, else PHYSDEP_WORKERS if set and positive,
 // else GOMAXPROCS.
@@ -49,10 +76,8 @@ func Workers() int {
 	if v := workerOverride.Load(); v > 0 {
 		return int(v)
 	}
-	if s := os.Getenv(EnvWorkers); s != "" {
-		if n, err := strconv.Atoi(s); err == nil && n > 0 {
-			return n
-		}
+	if n := envWorkers(); n > 0 {
+		return n
 	}
 	return runtime.GOMAXPROCS(0)
 }

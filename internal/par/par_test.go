@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -126,6 +127,8 @@ func TestSeedAtMatchesRand(t *testing.T) {
 
 func TestWorkersEnvAndOverride(t *testing.T) {
 	t.Setenv(EnvWorkers, "3")
+	resetEnvCache()
+	t.Cleanup(resetEnvCache)
 	SetWorkers(0)
 	if got := Workers(); got != 3 {
 		t.Fatalf("Workers() = %d with %s=3, want 3", got, EnvWorkers)
@@ -135,4 +138,31 @@ func TestWorkersEnvAndOverride(t *testing.T) {
 	if got := Workers(); got != 5 {
 		t.Fatalf("Workers() = %d after SetWorkers(5), want 5", got)
 	}
+}
+
+func TestWorkersEnvCached(t *testing.T) {
+	t.Setenv(EnvWorkers, "3")
+	resetEnvCache()
+	t.Cleanup(resetEnvCache)
+	SetWorkers(0)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d with %s=3, want 3", got, EnvWorkers)
+	}
+	// A later env change must NOT be observed: the parse is once-per-process.
+	t.Setenv(EnvWorkers, "7")
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after env change, want cached 3", got)
+	}
+}
+
+func TestWorkersMalformedEnvIgnored(t *testing.T) {
+	for _, bad := range []string{"banana", "-2", "0", "1.5"} {
+		t.Setenv(EnvWorkers, bad)
+		resetEnvCache()
+		SetWorkers(0)
+		if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+			t.Errorf("Workers() = %d with %s=%q, want GOMAXPROCS %d", got, EnvWorkers, bad, want)
+		}
+	}
+	resetEnvCache()
 }

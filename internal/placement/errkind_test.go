@@ -1,0 +1,45 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+
+	"physdep/internal/physerr"
+)
+
+// TestGreedyErrorKinds pins the classification contract: malformed
+// configs are out-of-range, while a well-formed request that simply does
+// not fit the hall is a capacity failure.
+func TestGreedyErrorKinds(t *testing.T) {
+	ft := smallFatTree(t)
+
+	t.Run("negative NetSwitchesPerRack", func(t *testing.T) {
+		f := newFloor(t, 3, 10)
+		_, err := Greedy(ft, f, Config{NetSwitchesPerRack: -1})
+		if !errors.Is(err, physerr.ErrOutOfRange) {
+			t.Fatalf("err = %v, want ErrOutOfRange", err)
+		}
+	})
+	t.Run("negative SwitchRU", func(t *testing.T) {
+		f := newFloor(t, 3, 10)
+		_, err := Greedy(ft, f, Config{SwitchRU: -4})
+		if !errors.Is(err, physerr.ErrOutOfRange) {
+			t.Fatalf("err = %v, want ErrOutOfRange", err)
+		}
+	})
+	t.Run("hall too small is capacity", func(t *testing.T) {
+		f := newFloor(t, 1, 5)
+		_, err := Greedy(ft, f, Config{})
+		if !errors.Is(err, physerr.ErrCapacity) {
+			t.Fatalf("err = %v, want ErrCapacity", err)
+		}
+	})
+	t.Run("rack overpacked is capacity", func(t *testing.T) {
+		f := newFloor(t, 3, 10)
+		// 1 switch per network rack at 50 RU each cannot fit a 42U rack.
+		_, err := Greedy(ft, f, Config{NetSwitchesPerRack: 1, SwitchRU: 50})
+		if !errors.Is(err, physerr.ErrCapacity) {
+			t.Fatalf("err = %v, want ErrCapacity", err)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 
 	"physdep/internal/cabling"
 	"physdep/internal/floorplan"
+	"physdep/internal/physerr"
 	"physdep/internal/topology"
 	"physdep/internal/units"
 )
@@ -23,6 +24,17 @@ type Config struct {
 	NetSwitchesPerRack int
 	// SwitchRU is the rack units one non-ToR switch occupies. Default 4.
 	SwitchRU int
+}
+
+// Validate rejects negative knobs (zero means "use the default").
+func (c Config) Validate() error {
+	if c.NetSwitchesPerRack < 0 {
+		return physerr.OutOfRange("placement: NetSwitchesPerRack must be >= 0, got %d", c.NetSwitchesPerRack)
+	}
+	if c.SwitchRU < 0 {
+		return physerr.OutOfRange("placement: SwitchRU must be >= 0, got %d", c.SwitchRU)
+	}
+	return nil
 }
 
 func (c *Config) defaults() {
@@ -88,10 +100,13 @@ func (p *Placement) SwitchesInRack(r int) []int {
 }
 
 // EdgeRoute returns the physical route of topology edge id under this
-// placement.
+// placement. Locations come from the placement's own (validated)
+// bookkeeping, so the unchecked route path is safe here — and this sits
+// inside the annealer's objective loop, where a per-call validation
+// would be pure overhead.
 func (p *Placement) EdgeRoute(id int) floorplan.Route {
 	e := p.Topo.Edges[id]
-	return p.Floor.RouteBetween(p.LocOfSwitch(e.U), p.LocOfSwitch(e.V))
+	return p.Floor.MustRouteBetween(p.LocOfSwitch(e.U), p.LocOfSwitch(e.V))
 }
 
 // CableLength sums route lengths over all live edges — the annealer's
@@ -136,6 +151,9 @@ func (p *Placement) Demands(extraLoss func(edgeID int) units.DB) []cabling.Deman
 // then ToR racks fill the remaining slots row-major in pod order, keeping
 // each pod physically contiguous.
 func Greedy(t *topology.Topology, f *floorplan.Floorplan, cfg Config) (*Placement, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.defaults()
 	tors := t.ToRs()
 	var nonToR []int
@@ -159,7 +177,7 @@ func Greedy(t *topology.Topology, f *floorplan.Floorplan, cfg Config) (*Placemen
 	nNetRacks := (len(nonToR) + cfg.NetSwitchesPerRack - 1) / cfg.NetSwitchesPerRack
 	nRacks := nNetRacks + len(tors)
 	if nRacks > f.NumRacks() {
-		return nil, fmt.Errorf("placement: need %d racks (%d network + %d ToR) but hall has %d slots",
+		return nil, physerr.Capacity("placement: need %d racks (%d network + %d ToR) but hall has %d slots",
 			nRacks, nNetRacks, len(tors), f.NumRacks())
 	}
 	p := &Placement{

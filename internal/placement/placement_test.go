@@ -208,7 +208,7 @@ func TestCableLengthConsistentWithRoutes(t *testing.T) {
 		if e.U == -1 {
 			continue
 		}
-		manual += f.RouteBetween(p.LocOfSwitch(e.U), p.LocOfSwitch(e.V)).Length
+		manual += f.MustRouteBetween(p.LocOfSwitch(e.U), p.LocOfSwitch(e.V)).Length
 	}
 	if got := p.CableLength(); got != manual {
 		t.Errorf("CableLength = %v, manual = %v", got, manual)

@@ -41,7 +41,13 @@ func AssessVendorLoss(f *floorplan.Floorplan, cat *cabling.Catalog,
 	}
 	var feasible []cabling.Demand
 	for _, d := range demands {
-		route := f.RouteBetween(d.From, d.To)
+		// The baseline plan above already validated every demand's
+		// locations, so this re-route cannot fail; the check keeps the
+		// no-panic contract if that ever changes.
+		route, rerr := f.RouteBetween(d.From, d.To)
+		if rerr != nil {
+			return Impact{}, fmt.Errorf("supply: demand %d: %w", d.ID, rerr)
+		}
 		if _, err := cat.SelectFiltered(d.Rate, route.Length, d.ExtraLoss, keep); err != nil {
 			imp.Infeasible = append(imp.Infeasible, d.ID)
 			continue
@@ -128,7 +134,10 @@ func FungibilityTax(f *floorplan.Floorplan, cat *cabling.Catalog,
 	env := SecondBestCatalog(cat)
 	var feasible []cabling.Demand
 	for _, d := range demands {
-		route := f.RouteBetween(d.From, d.To)
+		route, rerr := f.RouteBetween(d.From, d.To)
+		if rerr != nil {
+			return 0, 0, 0, fmt.Errorf("supply: demand %d: %w", d.ID, rerr)
+		}
 		if _, serr := env.Select(d.Rate, route.Length, d.ExtraLoss); serr != nil {
 			infeasible++
 			continue

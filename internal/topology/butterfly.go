@@ -23,8 +23,8 @@ type FlattenedButterflyConfig struct {
 // FlattenedButterfly builds the topology. Network degree per switch is
 // Dims·(C−1).
 func FlattenedButterfly(cfg FlattenedButterflyConfig) (*Topology, error) {
-	if cfg.C < 2 || cfg.Dims < 1 {
-		return nil, fmt.Errorf("flattened butterfly: need C >= 2 and Dims >= 1")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	n := 1
 	for d := 0; d < cfg.Dims; d++ {

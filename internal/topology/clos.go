@@ -17,10 +17,10 @@ type FatTreeConfig struct {
 
 // FatTree builds the fat-tree described by cfg.
 func FatTree(cfg FatTreeConfig) (*Topology, error) {
-	k := cfg.K
-	if k < 2 || k%2 != 0 {
-		return nil, fmt.Errorf("fattree: K must be even and >= 2, got %d", k)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	k := cfg.K
 	t := NewTopology(fmt.Sprintf("fattree-k%d", k))
 	half := k / 2
 	// Core switches: (k/2)² arranged in half groups of half.
@@ -70,8 +70,8 @@ type LeafSpineConfig struct {
 // UplinksPerTor is a multiple of Spines and a balanced partial striping
 // otherwise.
 func LeafSpine(cfg LeafSpineConfig) (*Topology, error) {
-	if cfg.Leaves <= 0 || cfg.Spines <= 0 || cfg.UplinksPerTor <= 0 {
-		return nil, fmt.Errorf("leafspine: Leaves, Spines, UplinksPerTor must be positive")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	t := NewTopology(fmt.Sprintf("leafspine-%dx%d", cfg.Leaves, cfg.Spines))
 	spines := make([]int, cfg.Spines)
@@ -105,8 +105,8 @@ type VL2Config struct {
 // VL2 builds the fabric: DI aggregation switches, DA/2 intermediate
 // switches, and DA·DI/4 ToRs, per the paper's sizing.
 func VL2(cfg VL2Config) (*Topology, error) {
-	if cfg.DA < 2 || cfg.DA%2 != 0 || cfg.DI < 2 || cfg.DI%2 != 0 {
-		return nil, fmt.Errorf("vl2: DA and DI must be even and >= 2")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	t := NewTopology(fmt.Sprintf("vl2-da%d-di%d", cfg.DA, cfg.DI))
 	nAgg := cfg.DI

@@ -25,8 +25,8 @@ type FatCliqueConfig struct {
 // FatClique builds the hierarchy. Network degree per switch is
 // (Ks−1) + (Kb−1) + (Kf−1).
 func FatClique(cfg FatCliqueConfig) (*Topology, error) {
-	if cfg.Ks < 1 || cfg.Kb < 1 || cfg.Kf < 1 {
-		return nil, fmt.Errorf("fatclique: Ks, Kb, Kf must be >= 1")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	t := NewTopology(fmt.Sprintf("fatclique-%dx%dx%d", cfg.Ks, cfg.Kb, cfg.Kf))
 	netDeg := (cfg.Ks - 1) + (cfg.Kb - 1) + (cfg.Kf - 1)

@@ -24,14 +24,8 @@ type JellyfishConfig struct {
 // existing edge and splice. The result is simple (no self-loops or
 // parallel links) and R-regular whenever N·R is even and R < N.
 func Jellyfish(cfg JellyfishConfig) (*Topology, error) {
-	if cfg.R >= cfg.K {
-		return nil, fmt.Errorf("jellyfish: R (%d) must be < K (%d)", cfg.R, cfg.K)
-	}
-	if cfg.R >= cfg.N {
-		return nil, fmt.Errorf("jellyfish: R (%d) must be < N (%d)", cfg.R, cfg.N)
-	}
-	if cfg.N*cfg.R%2 != 0 {
-		return nil, fmt.Errorf("jellyfish: N*R must be even, got %d*%d", cfg.N, cfg.R)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^jellySeedMix))
 	t := NewTopology(fmt.Sprintf("jellyfish-n%d-r%d", cfg.N, cfg.R))

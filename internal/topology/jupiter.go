@@ -25,12 +25,8 @@ type JupiterConfig struct {
 // physically routed through the OCS/patch layer). UplinksPer must equal
 // SpineBlocks·TrunkWidth.
 func JupiterSpine(cfg JupiterConfig) (*Topology, error) {
-	if cfg.AggBlocks < 2 || cfg.SpineBlocks < 1 || cfg.TrunkWidth < 1 {
-		return nil, fmt.Errorf("jupiter: need AggBlocks >= 2, SpineBlocks >= 1, TrunkWidth >= 1")
-	}
-	if cfg.UplinksPer != cfg.SpineBlocks*cfg.TrunkWidth {
-		return nil, fmt.Errorf("jupiter: UplinksPer (%d) must equal SpineBlocks*TrunkWidth (%d)",
-			cfg.UplinksPer, cfg.SpineBlocks*cfg.TrunkWidth)
+	if err := cfg.validateSpine(); err != nil {
+		return nil, err
 	}
 	t := NewTopology(fmt.Sprintf("jupiter-spine-a%d-s%d", cfg.AggBlocks, cfg.SpineBlocks))
 	aggs := make([]int, cfg.AggBlocks)
@@ -60,8 +56,8 @@ func JupiterSpine(cfg JupiterConfig) (*Topology, error) {
 // distributed to the lexicographically first peers, mirroring the uniform
 // base mesh that topology engineering then skews toward demand.
 func JupiterDirect(cfg JupiterConfig) (*Topology, error) {
-	if cfg.AggBlocks < 2 {
-		return nil, fmt.Errorf("jupiter: need AggBlocks >= 2")
+	if err := cfg.validateDirect(); err != nil {
+		return nil, err
 	}
 	n := cfg.AggBlocks
 	t := NewTopology(fmt.Sprintf("jupiter-direct-a%d", n))

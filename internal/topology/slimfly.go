@@ -28,10 +28,10 @@ type SlimFlyConfig struct {
 // are symmetric and the graph is a well-defined undirected graph of
 // uniform degree (3q−1)/2 and diameter 2.
 func SlimFly(cfg SlimFlyConfig) (*Topology, error) {
-	q := cfg.Q
-	if !isPrime(q) || q%4 != 1 {
-		return nil, fmt.Errorf("slimfly: Q must be a prime ≡ 1 (mod 4), got %d", q)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
+	q := cfg.Q
 	// Quadratic residues mod q (nonzero).
 	isQR := make([]bool, q)
 	for v := 1; v < q; v++ {

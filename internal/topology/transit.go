@@ -32,11 +32,8 @@ type TransitMeshConfig struct {
 // NewRate). Cross-generation traffic takes old → transit → new without
 // any new-generation switch burning a low-rate port.
 func TransitMesh(cfg TransitMeshConfig) (*Topology, error) {
-	if cfg.OldBlocks < 1 || cfg.NewBlocks < 1 || cfg.TransitBlocks < 1 {
-		return nil, fmt.Errorf("topology: transit mesh needs old, new, and transit blocks")
-	}
-	if cfg.LinksWithinMesh < 1 || cfg.LinksToTransit < 1 {
-		return nil, fmt.Errorf("topology: trunk widths must be >= 1")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	t := NewTopology(fmt.Sprintf("transit-mesh-%do-%dn-%dt",
 		cfg.OldBlocks, cfg.NewBlocks, cfg.TransitBlocks))

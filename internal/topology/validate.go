@@ -1,0 +1,230 @@
+package topology
+
+import (
+	"physdep/internal/physerr"
+)
+
+// MaxSwitches bounds how many switches one generated fabric may contain.
+// The largest published fabrics are a few thousand switches; the bound
+// exists so an absurd or adversarial config is rejected by a cheap
+// declarative check — the paper's §5.3 "catch it before any physical
+// work starts" — instead of exhausting memory mid-build.
+const MaxSwitches = 1 << 20
+
+// checkSize rejects configs whose switch count is non-positive or beyond
+// MaxSwitches. Counts are computed in the callers with the same guarded
+// arithmetic mulCap uses, so overflow shows up as a saturated value, not
+// a wrapped one.
+func checkSize(family string, switches int) error {
+	if switches < 1 {
+		return physerr.OutOfRange("%s: config yields %d switches", family, switches)
+	}
+	if switches > MaxSwitches {
+		return physerr.OutOfRange("%s: config yields %d switches, more than the %d cap",
+			family, switches, MaxSwitches)
+	}
+	return nil
+}
+
+// mulCap multiplies non-negative ints, saturating at MaxSwitches+1 so a
+// product that would overflow still fails checkSize instead of wrapping
+// into a plausible-looking small number.
+func mulCap(xs ...int) int {
+	p := 1
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		if p > MaxSwitches/x+1 {
+			return MaxSwitches + 1
+		}
+		p *= x
+		if p > MaxSwitches {
+			return MaxSwitches + 1
+		}
+	}
+	return p
+}
+
+// checkCommon validates the knobs every family shares. Rate 0 is allowed
+// (tests build rate-less fabrics; capacity-using algorithms treat 0 as 1).
+func checkCommon(family string, serverPorts int, rate float64) error {
+	if serverPorts < 0 {
+		return physerr.OutOfRange("%s: ServerPorts must be >= 0, got %d", family, serverPorts)
+	}
+	if rate < 0 {
+		return physerr.OutOfRange("%s: Rate must be >= 0, got %v", family, rate)
+	}
+	return nil
+}
+
+// Validate checks the fat-tree envelope: even K >= 2 and a buildable
+// switch count. All violations wrap physerr.ErrOutOfRange.
+func (cfg FatTreeConfig) Validate() error {
+	if cfg.K < 2 || cfg.K%2 != 0 {
+		return physerr.OutOfRange("fattree: K must be even and >= 2, got %d", cfg.K)
+	}
+	if cfg.Rate < 0 {
+		return physerr.OutOfRange("fattree: Rate must be >= 0, got %v", cfg.Rate)
+	}
+	// (k/2)² core + k pods × k switches.
+	return checkSize("fattree", mulCap(cfg.K/2, cfg.K/2)+mulCap(cfg.K, cfg.K))
+}
+
+// Validate checks the leaf–spine envelope.
+func (cfg LeafSpineConfig) Validate() error {
+	if cfg.Leaves <= 0 || cfg.Spines <= 0 || cfg.UplinksPerTor <= 0 {
+		return physerr.OutOfRange("leafspine: Leaves, Spines, UplinksPerTor must be positive (got %d, %d, %d)",
+			cfg.Leaves, cfg.Spines, cfg.UplinksPerTor)
+	}
+	if cfg.LeafRadix < 0 || cfg.SpineRadix < 0 {
+		return physerr.OutOfRange("leafspine: radixes must be >= 0 (got leaf %d, spine %d)",
+			cfg.LeafRadix, cfg.SpineRadix)
+	}
+	if err := checkCommon("leafspine", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
+		return err
+	}
+	return checkSize("leafspine", cfg.Leaves+cfg.Spines)
+}
+
+// Validate checks the VL2 envelope.
+func (cfg VL2Config) Validate() error {
+	if cfg.DA < 2 || cfg.DA%2 != 0 || cfg.DI < 2 || cfg.DI%2 != 0 {
+		return physerr.OutOfRange("vl2: DA and DI must be even and >= 2 (got %d, %d)", cfg.DA, cfg.DI)
+	}
+	if err := checkCommon("vl2", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
+		return err
+	}
+	return checkSize("vl2", cfg.DI+cfg.DA/2+mulCap(cfg.DA, cfg.DI)/4)
+}
+
+// Validate checks the Jellyfish envelope: 1 <= R < min(K, N) and even
+// N·R so an R-regular simple graph exists.
+func (cfg JellyfishConfig) Validate() error {
+	if cfg.N < 1 {
+		return physerr.OutOfRange("jellyfish: N must be >= 1, got %d", cfg.N)
+	}
+	if cfg.R < 1 {
+		return physerr.OutOfRange("jellyfish: R must be >= 1, got %d", cfg.R)
+	}
+	if cfg.R >= cfg.K {
+		return physerr.OutOfRange("jellyfish: R (%d) must be < K (%d)", cfg.R, cfg.K)
+	}
+	if cfg.R >= cfg.N {
+		return physerr.OutOfRange("jellyfish: R (%d) must be < N (%d)", cfg.R, cfg.N)
+	}
+	if cfg.N*cfg.R%2 != 0 {
+		return physerr.OutOfRange("jellyfish: N*R must be even, got %d*%d", cfg.N, cfg.R)
+	}
+	if cfg.Rate < 0 {
+		return physerr.OutOfRange("jellyfish: Rate must be >= 0, got %v", cfg.Rate)
+	}
+	return checkSize("jellyfish", cfg.N)
+}
+
+// Validate checks the Xpander envelope.
+func (cfg XpanderConfig) Validate() error {
+	if cfg.D < 2 {
+		return physerr.OutOfRange("xpander: D must be >= 2, got %d", cfg.D)
+	}
+	if cfg.Lift < 1 {
+		return physerr.OutOfRange("xpander: Lift must be >= 1, got %d", cfg.Lift)
+	}
+	if err := checkCommon("xpander", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
+		return err
+	}
+	return checkSize("xpander", mulCap(cfg.D+1, cfg.Lift))
+}
+
+// Validate checks the flattened-butterfly envelope. The C^Dims switch
+// count is computed with saturating arithmetic, so huge dimension counts
+// fail cleanly rather than overflowing.
+func (cfg FlattenedButterflyConfig) Validate() error {
+	if cfg.C < 2 || cfg.Dims < 1 {
+		return physerr.OutOfRange("flattened butterfly: need C >= 2 and Dims >= 1 (got C=%d, Dims=%d)",
+			cfg.C, cfg.Dims)
+	}
+	if err := checkCommon("flattened butterfly", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
+		return err
+	}
+	n := 1
+	for d := 0; d < cfg.Dims; d++ {
+		n = mulCap(n, cfg.C)
+		if n > MaxSwitches {
+			break
+		}
+	}
+	return checkSize("flattened butterfly", n)
+}
+
+// Validate checks the FatClique envelope.
+func (cfg FatCliqueConfig) Validate() error {
+	if cfg.Ks < 1 || cfg.Kb < 1 || cfg.Kf < 1 {
+		return physerr.OutOfRange("fatclique: Ks, Kb, Kf must be >= 1 (got %d, %d, %d)",
+			cfg.Ks, cfg.Kb, cfg.Kf)
+	}
+	if err := checkCommon("fatclique", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
+		return err
+	}
+	return checkSize("fatclique", mulCap(cfg.Ks, cfg.Kb, cfg.Kf))
+}
+
+// Validate checks the Slim Fly envelope: prime Q ≡ 1 (mod 4).
+func (cfg SlimFlyConfig) Validate() error {
+	if !isPrime(cfg.Q) || cfg.Q%4 != 1 {
+		return physerr.OutOfRange("slimfly: Q must be a prime ≡ 1 (mod 4), got %d", cfg.Q)
+	}
+	if err := checkCommon("slimfly", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
+		return err
+	}
+	return checkSize("slimfly", mulCap(2, cfg.Q, cfg.Q))
+}
+
+// validateSpine checks the spine-variant Jupiter envelope.
+func (cfg JupiterConfig) validateSpine() error {
+	if cfg.AggBlocks < 2 || cfg.SpineBlocks < 1 || cfg.TrunkWidth < 1 {
+		return physerr.OutOfRange("jupiter: need AggBlocks >= 2, SpineBlocks >= 1, TrunkWidth >= 1 (got %d, %d, %d)",
+			cfg.AggBlocks, cfg.SpineBlocks, cfg.TrunkWidth)
+	}
+	if cfg.UplinksPer != cfg.SpineBlocks*cfg.TrunkWidth {
+		return physerr.OutOfRange("jupiter: UplinksPer (%d) must equal SpineBlocks*TrunkWidth (%d)",
+			cfg.UplinksPer, cfg.SpineBlocks*cfg.TrunkWidth)
+	}
+	if err := checkCommon("jupiter", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
+		return err
+	}
+	return checkSize("jupiter", cfg.AggBlocks+cfg.SpineBlocks)
+}
+
+// validateDirect checks the direct-connect Jupiter envelope.
+func (cfg JupiterConfig) validateDirect() error {
+	if cfg.AggBlocks < 2 {
+		return physerr.OutOfRange("jupiter: need AggBlocks >= 2, got %d", cfg.AggBlocks)
+	}
+	if cfg.UplinksPer < 0 {
+		return physerr.OutOfRange("jupiter: UplinksPer must be >= 0, got %d", cfg.UplinksPer)
+	}
+	if err := checkCommon("jupiter", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
+		return err
+	}
+	return checkSize("jupiter", cfg.AggBlocks)
+}
+
+// Validate checks the transit-mesh envelope.
+func (cfg TransitMeshConfig) Validate() error {
+	if cfg.OldBlocks < 1 || cfg.NewBlocks < 1 || cfg.TransitBlocks < 1 {
+		return physerr.OutOfRange("topology: transit mesh needs old, new, and transit blocks (got %d, %d, %d)",
+			cfg.OldBlocks, cfg.NewBlocks, cfg.TransitBlocks)
+	}
+	if cfg.LinksWithinMesh < 1 || cfg.LinksToTransit < 1 {
+		return physerr.OutOfRange("topology: trunk widths must be >= 1 (got %d, %d)",
+			cfg.LinksWithinMesh, cfg.LinksToTransit)
+	}
+	if cfg.OldRate < 0 || cfg.NewRate < 0 {
+		return physerr.OutOfRange("topology: rates must be >= 0 (got %v, %v)", cfg.OldRate, cfg.NewRate)
+	}
+	if cfg.ServerPorts < 0 {
+		return physerr.OutOfRange("topology: ServerPorts must be >= 0, got %d", cfg.ServerPorts)
+	}
+	return checkSize("transit mesh", cfg.OldBlocks+cfg.NewBlocks+cfg.TransitBlocks)
+}

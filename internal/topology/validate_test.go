@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+
+	"physdep/internal/physerr"
+)
+
+// TestValidateRejectsOutOfRange drives every generator's Validate path
+// with one representative violation per failure class and asserts the
+// error classifies as physerr.ErrOutOfRange.
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() error
+	}{
+		{"fattree odd K", func() error { _, err := FatTree(FatTreeConfig{K: 5}); return err }},
+		{"fattree zero K", func() error { _, err := FatTree(FatTreeConfig{K: 0}); return err }},
+		{"fattree negative rate", func() error { _, err := FatTree(FatTreeConfig{K: 4, Rate: -1}); return err }},
+		{"fattree oversized", func() error { _, err := FatTree(FatTreeConfig{K: 2048}); return err }},
+		{"leafspine no spines", func() error {
+			_, err := LeafSpine(LeafSpineConfig{Leaves: 4, Spines: 0, UplinksPerTor: 2})
+			return err
+		}},
+		{"leafspine negative radix", func() error {
+			_, err := LeafSpine(LeafSpineConfig{Leaves: 4, Spines: 2, UplinksPerTor: 2, LeafRadix: -1})
+			return err
+		}},
+		{"vl2 odd DA", func() error { _, err := VL2(VL2Config{DA: 3, DI: 4}); return err }},
+		{"jellyfish R >= K", func() error { _, err := Jellyfish(JellyfishConfig{N: 10, K: 4, R: 4}); return err }},
+		{"jellyfish R >= N", func() error { _, err := Jellyfish(JellyfishConfig{N: 3, K: 8, R: 4}); return err }},
+		{"jellyfish odd N*R", func() error { _, err := Jellyfish(JellyfishConfig{N: 5, K: 8, R: 3}); return err }},
+		{"jellyfish zero N", func() error { _, err := Jellyfish(JellyfishConfig{N: 0, K: 8, R: 0}); return err }},
+		{"xpander tiny D", func() error { _, err := Xpander(XpanderConfig{D: 1, Lift: 2}); return err }},
+		{"butterfly overflow", func() error {
+			_, err := FlattenedButterfly(FlattenedButterflyConfig{C: 24, Dims: 12})
+			return err
+		}},
+		{"fatclique zero Kb", func() error { _, err := FatClique(FatCliqueConfig{Ks: 2, Kb: 0, Kf: 2}); return err }},
+		{"slimfly composite Q", func() error { _, err := SlimFly(SlimFlyConfig{Q: 9}); return err }},
+		{"slimfly wrong residue", func() error { _, err := SlimFly(SlimFlyConfig{Q: 7}); return err }},
+		{"jupiter spine trunk mismatch", func() error {
+			_, err := JupiterSpine(JupiterConfig{AggBlocks: 4, SpineBlocks: 2, TrunkWidth: 2, UplinksPer: 3})
+			return err
+		}},
+		{"jupiter direct one block", func() error { _, err := JupiterDirect(JupiterConfig{AggBlocks: 1}); return err }},
+		{"transit no transit blocks", func() error {
+			_, err := TransitMesh(TransitMeshConfig{OldBlocks: 2, NewBlocks: 2, TransitBlocks: 0,
+				LinksWithinMesh: 1, LinksToTransit: 1})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.build()
+			if err == nil {
+				t.Fatal("invalid config was accepted")
+			}
+			if !errors.Is(err, physerr.ErrOutOfRange) {
+				t.Fatalf("error kind = %v, want physerr.ErrOutOfRange", err)
+			}
+		})
+	}
+}
+
+// TestValidateAcceptsCanonicalConfigs pins the envelope open: the configs
+// the experiments rely on must keep validating.
+func TestValidateAcceptsCanonicalConfigs(t *testing.T) {
+	oks := []struct {
+		name string
+		err  error
+	}{
+		{"fattree k4", FatTreeConfig{K: 4, Rate: 100}.Validate()},
+		{"leafspine", LeafSpineConfig{Leaves: 8, Spines: 4, UplinksPerTor: 4, LeafRadix: 12, SpineRadix: 8, Rate: 100}.Validate()},
+		{"vl2", VL2Config{DA: 4, DI: 4, Rate: 100}.Validate()},
+		{"jellyfish", JellyfishConfig{N: 20, K: 8, R: 4, Rate: 100}.Validate()},
+		{"xpander", XpanderConfig{D: 4, Lift: 4, Rate: 100}.Validate()},
+		{"butterfly", FlattenedButterflyConfig{C: 4, Dims: 2, Rate: 100}.Validate()},
+		{"fatclique", FatCliqueConfig{Ks: 3, Kb: 3, Kf: 3, Rate: 100}.Validate()},
+		{"slimfly q5", SlimFlyConfig{Q: 5, Rate: 100}.Validate()},
+		{"transit", TransitMeshConfig{OldBlocks: 2, NewBlocks: 2, TransitBlocks: 1,
+			OldRate: 100, NewRate: 400, LinksWithinMesh: 1, LinksToTransit: 1}.Validate()},
+	}
+	for _, tc := range oks {
+		if tc.err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", tc.name, tc.err)
+		}
+	}
+}
+
+func TestMulCapSaturates(t *testing.T) {
+	if got := mulCap(1<<19, 1<<19); got != MaxSwitches+1 {
+		t.Errorf("mulCap(2^19, 2^19) = %d, want saturated %d", got, MaxSwitches+1)
+	}
+	if got := mulCap(3, 0, 5); got != 0 {
+		t.Errorf("mulCap with zero factor = %d, want 0", got)
+	}
+	if got := mulCap(6, 7); got != 42 {
+		t.Errorf("mulCap(6,7) = %d, want 42", got)
+	}
+}

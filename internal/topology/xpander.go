@@ -26,11 +26,8 @@ type XpanderConfig struct {
 // Lift copies of meta-node j, so every ToR gets exactly one link per
 // neighboring meta-node and the D-regularity of K_{D+1} is preserved.
 func Xpander(cfg XpanderConfig) (*Topology, error) {
-	if cfg.D < 2 {
-		return nil, fmt.Errorf("xpander: D must be >= 2, got %d", cfg.D)
-	}
-	if cfg.Lift < 1 {
-		return nil, fmt.Errorf("xpander: Lift must be >= 1, got %d", cfg.Lift)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0x78706472)) // "xpdr"
 	t := NewTopology(fmt.Sprintf("xpander-d%d-l%d", cfg.D, cfg.Lift))

@@ -1,0 +1,48 @@
+package trafficsim
+
+import (
+	"errors"
+	"testing"
+
+	"physdep/internal/physerr"
+)
+
+func TestKSPConfigValidateKinds(t *testing.T) {
+	bad := []struct {
+		name string
+		cfg  KSPConfig
+	}{
+		{"zero K", KSPConfig{K: 0, Chunks: 8}},
+		{"huge K", KSPConfig{K: MaxKSPK + 1}},
+		{"negative Slack", KSPConfig{K: 8, Slack: -1}},
+		{"huge Slack", KSPConfig{K: 8, Slack: MaxKSPSlack + 1}},
+		{"negative Chunks", KSPConfig{K: 8, Chunks: -3}},
+		{"huge Chunks", KSPConfig{K: 8, Chunks: MaxKSPChunks + 1}},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatal("invalid config was accepted")
+			}
+			if !errors.Is(err, physerr.ErrOutOfRange) {
+				t.Fatalf("err = %v, want ErrOutOfRange", err)
+			}
+		})
+	}
+	// Chunks 0 means "default" and must stay valid — the golden corpus
+	// depends on it.
+	if err := (KSPConfig{K: 8, Slack: 1}).Validate(); err != nil {
+		t.Errorf("Chunks=0 config rejected: %v", err)
+	}
+	if err := DefaultKSP().Validate(); err != nil {
+		t.Errorf("DefaultKSP rejected: %v", err)
+	}
+}
+
+func TestNewMatrixNegativeN(t *testing.T) {
+	m := NewMatrix(-5)
+	if m.N != 0 || len(m.D) != 0 {
+		t.Errorf("NewMatrix(-5) = %d×%d, want empty", m.N, len(m.D))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"physdep/internal/graph"
 	"physdep/internal/obs"
 	"physdep/internal/par"
+	"physdep/internal/physerr"
 	"physdep/internal/topology"
 )
 
@@ -25,6 +26,29 @@ type KSPConfig struct {
 // DefaultKSP mirrors the Jellyfish paper's 8-shortest-paths routing with
 // one hop of slack.
 func DefaultKSP() KSPConfig { return KSPConfig{K: 8, Slack: 1, Chunks: 8} }
+
+// Bounds on the KSP knobs. Path enumeration is exponential in Slack and
+// linear in K·Chunks, so a runaway config must fail fast rather than hang.
+const (
+	MaxKSPK      = 1 << 12
+	MaxKSPSlack  = 64
+	MaxKSPChunks = 1 << 16
+)
+
+// Validate rejects KSP configs outside the workable envelope. Chunks 0 is
+// allowed and means "use the default of 8"; negative values are errors.
+func (cfg KSPConfig) Validate() error {
+	if cfg.K < 1 || cfg.K > MaxKSPK {
+		return physerr.OutOfRange("trafficsim: KSP K must be in [1, %d], got %d", MaxKSPK, cfg.K)
+	}
+	if cfg.Slack < 0 || cfg.Slack > MaxKSPSlack {
+		return physerr.OutOfRange("trafficsim: KSP Slack must be in [0, %d], got %d", MaxKSPSlack, cfg.Slack)
+	}
+	if cfg.Chunks < 0 || cfg.Chunks > MaxKSPChunks {
+		return physerr.OutOfRange("trafficsim: KSP Chunks must be in [0, %d], got %d", MaxKSPChunks, cfg.Chunks)
+	}
+	return nil
+}
 
 // kspScratch is the per-worker reusable state of path enumeration: the
 // BFS buffers for the per-destination distance field, the on-path marks,
@@ -135,10 +159,10 @@ func KSPThroughput(t *topology.Topology, m Matrix, cfg KSPConfig) (float64, erro
 	if len(tors) != m.N {
 		return 0, fmt.Errorf("trafficsim: matrix is %d×%d but topology has %d ToRs", m.N, m.N, len(tors))
 	}
-	if cfg.K < 1 {
-		return 0, fmt.Errorf("trafficsim: KSP K must be >= 1")
+	if err := cfg.Validate(); err != nil {
+		return 0, err
 	}
-	if cfg.Chunks < 1 {
+	if cfg.Chunks == 0 {
 		cfg.Chunks = 8
 	}
 	defer obs.Time("trafficsim.ksp")()

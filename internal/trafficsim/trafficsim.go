@@ -21,8 +21,13 @@ type Matrix struct {
 	D [][]float64
 }
 
-// NewMatrix allocates an all-zero n×n matrix.
+// NewMatrix allocates an all-zero n×n matrix. Negative n is treated as 0
+// so adversarial sizes can't panic the allocator; the matrix generators
+// all handle the empty case.
 func NewMatrix(n int) Matrix {
+	if n < 0 {
+		n = 0
+	}
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)

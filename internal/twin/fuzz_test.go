@@ -1,0 +1,48 @@
+package twin
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzTwinRules parses arbitrary bytes as a twin document and, when the
+// document is accepted, runs the full schema + rule suite over it. The
+// loader must reject malformed documents with an error (never a panic),
+// and every accepted model — however degenerate — must survive CheckAll.
+func FuzzTwinRules(f *testing.F) {
+	f.Add([]byte(`{"entities":[],"relations":[]}`))
+	f.Add([]byte(`{"entities":[{"ID":"hall","Kind":"hall","Attrs":{"rows":2,"racks_per_row":4}}],"relations":[]}`))
+	f.Add([]byte(`{"entities":[{"ID":"r0","Kind":"rack"},{"ID":"s0","Kind":"switch"}],` +
+		`"relations":[{"From":"r0","Verb":"contains","To":"s0"}]}`))
+	// Regression shapes: null entity, duplicate IDs, dangling relation,
+	// unknown kind/verb, truncated JSON.
+	f.Add([]byte(`{"entities":[null]}`))
+	f.Add([]byte(`{"entities":[{"ID":"x"},{"ID":"x"}]}`))
+	f.Add([]byte(`{"relations":[{"From":"ghost","Verb":"feeds","To":"ghost"}]}`))
+	f.Add([]byte(`{"entities":[{"ID":"u","Kind":"ufo"}],"relations":[]}`))
+	f.Add([]byte(`{"entities":[{"ID":"a`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Model
+		if err := json.Unmarshal(data, &m); err != nil {
+			return
+		}
+		vs := CheckAll(&m, DefaultSchema(), DefaultRules())
+		for _, v := range vs {
+			if v.String() == "" {
+				t.Fatal("violation rendered empty")
+			}
+		}
+		// A loaded model must round-trip: marshal and re-load.
+		b, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("accepted model failed to marshal: %v", err)
+		}
+		var back Model
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("round-trip reload failed: %v", err)
+		}
+		if back.NumEntities() != m.NumEntities() {
+			t.Fatalf("round-trip lost entities: %d vs %d", back.NumEntities(), m.NumEntities())
+		}
+	})
+}

@@ -9,8 +9,9 @@
 package twin
 
 import (
-	"fmt"
 	"sort"
+
+	"physdep/internal/physerr"
 )
 
 // Kind classifies entities. The schema pins the closed set of kinds the
@@ -77,10 +78,10 @@ func NewModel() *Model {
 // Add inserts an entity; duplicate IDs are modeling errors.
 func (m *Model) Add(e *Entity) error {
 	if e.ID == "" {
-		return fmt.Errorf("twin: entity with empty ID")
+		return physerr.OutOfRange("twin: entity with empty ID")
 	}
 	if _, dup := m.entities[e.ID]; dup {
-		return fmt.Errorf("twin: duplicate entity %q", e.ID)
+		return physerr.OutOfRange("twin: duplicate entity %q", e.ID)
 	}
 	if e.Attrs == nil {
 		e.Attrs = map[string]float64{}
@@ -98,7 +99,7 @@ func (m *Model) Entity(id string) *Entity { return m.entities[id] }
 // Remove deletes an entity and every relation touching it.
 func (m *Model) Remove(id string) error {
 	if _, ok := m.entities[id]; !ok {
-		return fmt.Errorf("twin: remove of unknown entity %q", id)
+		return physerr.OutOfRange("twin: remove of unknown entity %q", id)
 	}
 	delete(m.entities, id)
 	kept := m.relations[:0]
@@ -114,10 +115,10 @@ func (m *Model) Remove(id string) error {
 // Relate records a relation; both endpoints must exist.
 func (m *Model) Relate(from string, verb Verb, to string) error {
 	if m.entities[from] == nil {
-		return fmt.Errorf("twin: relation from unknown entity %q", from)
+		return physerr.OutOfRange("twin: relation from unknown entity %q", from)
 	}
 	if m.entities[to] == nil {
-		return fmt.Errorf("twin: relation to unknown entity %q", to)
+		return physerr.OutOfRange("twin: relation to unknown entity %q", to)
 	}
 	m.relations = append(m.relations, Relation{From: from, Verb: verb, To: to})
 	return nil

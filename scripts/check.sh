@@ -10,8 +10,16 @@
 # byte-identity and golden-corpus tests in internal/experiments; the
 # smoke step below additionally proves the CLI plumbing end to end —
 # a -manifest/-trace run must produce a non-empty manifest with spans.
+#
+# Fuzz smoke: each library-boundary fuzz target runs briefly past its
+# committed seed corpus. Go allows one -fuzz pattern per invocation, so
+# the targets run one at a time. FUZZTIME=0 skips the live fuzzing (the
+# seeds still replay as part of go test above); raise it locally for a
+# deeper soak, e.g. FUZZTIME=30s ./scripts/check.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
 
 echo "== go vet"
 go vet ./...
@@ -29,5 +37,22 @@ go run ./cmd/experiments -run E2 -manifest "$tmp/manifest.json" -trace \
   >/dev/null 2>"$tmp/trace.txt"
 grep -q '"experiment:E2"' "$tmp/manifest.json"
 grep -q 'counters:' "$tmp/trace.txt"
+
+if [ "$FUZZTIME" != "0" ]; then
+  echo "== fuzz smoke (${FUZZTIME} per target)"
+  fuzz_targets=(
+    "FuzzTopologyGenerators ./internal/topology"
+    "FuzzRouteBetween       ./internal/floorplan"
+    "FuzzPlanCables         ./internal/cabling"
+    "FuzzKSPConfig          ./internal/trafficsim"
+    "FuzzTwinRules          ./internal/twin"
+    "FuzzBenchWorkersFlag   ./cmd/experiments"
+  )
+  for entry in "${fuzz_targets[@]}"; do
+    read -r target pkg <<<"$entry"
+    echo "-- $target ($pkg)"
+    go test -run '^$' -fuzz "^${target}\$" -fuzztime "$FUZZTIME" "$pkg"
+  done
+fi
 
 echo "check.sh: all green"
