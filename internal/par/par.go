@@ -42,12 +42,19 @@ const EnvWorkers = "PHYSDEP_WORKERS"
 
 var workerOverride atomic.Int64
 
-// envWorkers caches the one-time parse of PHYSDEP_WORKERS. Workers() sits
-// inside every parallel fan-out, so it must not hit the environment (a
-// syscall on some platforms) and re-parse on each call; the variable
-// cannot change mid-process anyway. Tests that mutate the environment
-// reset the cache via resetEnvCache.
-var envWorkers = sync.OnceValue(readEnvWorkers)
+// envWorkersCell holds the cached one-time parse of PHYSDEP_WORKERS.
+// Workers() sits inside every parallel fan-out, so it must not hit the
+// environment (a syscall on some platforms) and re-parse on each call;
+// the variable cannot change mid-process anyway. Tests that mutate the
+// environment re-arm the cell via resetEnvCache — through an atomic
+// pointer, so a reset racing a running par loop is only a stale read,
+// not a data race.
+var envWorkersCell atomic.Pointer[func() int]
+
+func init() { resetEnvCache() }
+
+// envWorkers returns the cached PHYSDEP_WORKERS parse.
+func envWorkers() int { return (*envWorkersCell.Load())() }
 
 // readEnvWorkers parses PHYSDEP_WORKERS once. Unset returns 0 (no
 // override); a malformed or non-positive value warns once on stderr and
@@ -67,7 +74,10 @@ func readEnvWorkers() int {
 
 // resetEnvCache re-arms the PHYSDEP_WORKERS parse; for tests using
 // t.Setenv only.
-func resetEnvCache() { envWorkers = sync.OnceValue(readEnvWorkers) }
+func resetEnvCache() {
+	f := sync.OnceValue(readEnvWorkers)
+	envWorkersCell.Store(&f)
+}
 
 // Workers returns the worker count parallel loops will use: the
 // SetWorkers override if set, else PHYSDEP_WORKERS if set and positive,

@@ -155,6 +155,26 @@ func TestWorkersEnvCached(t *testing.T) {
 	}
 }
 
+func TestResetEnvCacheConcurrentWithWorkers(t *testing.T) {
+	// Regression: resetEnvCache used to reassign the cache variable with
+	// no synchronization, a -race finding when a reset overlapped a
+	// running par loop. A racing reset may yield a stale read, never a
+	// torn one.
+	resetEnvCache()
+	t.Cleanup(resetEnvCache)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			resetEnvCache()
+		}
+	}()
+	if err := For(200, func(int) error { _ = Workers(); return nil }); err != nil {
+		t.Fatalf("For returned %v", err)
+	}
+	<-done
+}
+
 func TestWorkersMalformedEnvIgnored(t *testing.T) {
 	for _, bad := range []string{"banana", "-2", "0", "1.5"} {
 		t.Setenv(EnvWorkers, bad)

@@ -46,6 +46,24 @@ func mulCap(xs ...int) int {
 	return p
 }
 
+// addCap sums ints, saturating at MaxSwitches+1 so a total that would
+// overflow (or merely exceed the cap) still fails checkSize instead of
+// wrapping into a plausible-looking small number. Callers validate the
+// terms positive before summing.
+func addCap(xs ...int) int {
+	s := 0
+	for _, x := range xs {
+		if x > MaxSwitches {
+			return MaxSwitches + 1
+		}
+		s += x
+		if s > MaxSwitches {
+			return MaxSwitches + 1
+		}
+	}
+	return s
+}
+
 // checkCommon validates the knobs every family shares. Rate 0 is allowed
 // (tests build rate-less fabrics; capacity-using algorithms treat 0 as 1).
 func checkCommon(family string, serverPorts int, rate float64) error {
@@ -77,6 +95,9 @@ func (cfg LeafSpineConfig) Validate() error {
 		return physerr.OutOfRange("leafspine: Leaves, Spines, UplinksPerTor must be positive (got %d, %d, %d)",
 			cfg.Leaves, cfg.Spines, cfg.UplinksPerTor)
 	}
+	if cfg.UplinksPerTor > MaxSwitches {
+		return physerr.OutOfRange("leafspine: UplinksPerTor (%d) exceeds the %d cap", cfg.UplinksPerTor, MaxSwitches)
+	}
 	if cfg.LeafRadix < 0 || cfg.SpineRadix < 0 {
 		return physerr.OutOfRange("leafspine: radixes must be >= 0 (got leaf %d, spine %d)",
 			cfg.LeafRadix, cfg.SpineRadix)
@@ -84,7 +105,7 @@ func (cfg LeafSpineConfig) Validate() error {
 	if err := checkCommon("leafspine", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
 		return err
 	}
-	return checkSize("leafspine", cfg.Leaves+cfg.Spines)
+	return checkSize("leafspine", addCap(cfg.Leaves, cfg.Spines))
 }
 
 // Validate checks the VL2 envelope.
@@ -95,7 +116,11 @@ func (cfg VL2Config) Validate() error {
 	if err := checkCommon("vl2", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
 		return err
 	}
-	return checkSize("vl2", cfg.DI+cfg.DA/2+mulCap(cfg.DA, cfg.DI)/4)
+	// DI intermediates + DA/2 aggregates + DA*DI/4 ToRs. DA and DI are
+	// even here, so (DA/2)*(DI/2) is exactly DA*DI/4 and the saturation
+	// survives — dividing mulCap(DA, DI) by 4 would let a saturated
+	// product sneak back under the cap.
+	return checkSize("vl2", addCap(cfg.DI, cfg.DA/2, mulCap(cfg.DA/2, cfg.DI/2)))
 }
 
 // Validate checks the Jellyfish envelope: 1 <= R < min(K, N) and even
@@ -113,13 +138,18 @@ func (cfg JellyfishConfig) Validate() error {
 	if cfg.R >= cfg.N {
 		return physerr.OutOfRange("jellyfish: R (%d) must be < N (%d)", cfg.R, cfg.N)
 	}
+	// Size bound first: with N <= MaxSwitches and R < N the parity
+	// product below is provably overflow-free.
+	if err := checkSize("jellyfish", cfg.N); err != nil {
+		return err
+	}
 	if cfg.N*cfg.R%2 != 0 {
 		return physerr.OutOfRange("jellyfish: N*R must be even, got %d*%d", cfg.N, cfg.R)
 	}
 	if cfg.Rate < 0 {
 		return physerr.OutOfRange("jellyfish: Rate must be >= 0, got %v", cfg.Rate)
 	}
-	return checkSize("jellyfish", cfg.N)
+	return nil
 }
 
 // Validate checks the Xpander envelope.
@@ -171,13 +201,17 @@ func (cfg FatCliqueConfig) Validate() error {
 
 // Validate checks the Slim Fly envelope: prime Q ≡ 1 (mod 4).
 func (cfg SlimFlyConfig) Validate() error {
+	// Size bound first: it caps Q at ~724, so the trial-division
+	// primality check below is always tiny — a huge prime (or
+	// large-factor composite) Q must not cost minutes before rejection,
+	// and d*d in isPrime must not overflow.
+	if err := checkSize("slimfly", mulCap(2, cfg.Q, cfg.Q)); err != nil {
+		return err
+	}
 	if !isPrime(cfg.Q) || cfg.Q%4 != 1 {
 		return physerr.OutOfRange("slimfly: Q must be a prime ≡ 1 (mod 4), got %d", cfg.Q)
 	}
-	if err := checkCommon("slimfly", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
-		return err
-	}
-	return checkSize("slimfly", mulCap(2, cfg.Q, cfg.Q))
+	return checkCommon("slimfly", cfg.ServerPorts, float64(cfg.Rate))
 }
 
 // validateSpine checks the spine-variant Jupiter envelope.
@@ -186,14 +220,22 @@ func (cfg JupiterConfig) validateSpine() error {
 		return physerr.OutOfRange("jupiter: need AggBlocks >= 2, SpineBlocks >= 1, TrunkWidth >= 1 (got %d, %d, %d)",
 			cfg.AggBlocks, cfg.SpineBlocks, cfg.TrunkWidth)
 	}
-	if cfg.UplinksPer != cfg.SpineBlocks*cfg.TrunkWidth {
+	// Saturating product: an overflowed SpineBlocks*TrunkWidth must not
+	// wrap into a value an adversarial UplinksPer could match, and the
+	// per-trunk link loops in the build must stay bounded.
+	trunks := mulCap(cfg.SpineBlocks, cfg.TrunkWidth)
+	if trunks > MaxSwitches {
+		return physerr.OutOfRange("jupiter: SpineBlocks*TrunkWidth (%d*%d) exceeds the %d uplinks-per-block cap",
+			cfg.SpineBlocks, cfg.TrunkWidth, MaxSwitches)
+	}
+	if cfg.UplinksPer != trunks {
 		return physerr.OutOfRange("jupiter: UplinksPer (%d) must equal SpineBlocks*TrunkWidth (%d)",
-			cfg.UplinksPer, cfg.SpineBlocks*cfg.TrunkWidth)
+			cfg.UplinksPer, trunks)
 	}
 	if err := checkCommon("jupiter", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
 		return err
 	}
-	return checkSize("jupiter", cfg.AggBlocks+cfg.SpineBlocks)
+	return checkSize("jupiter", addCap(cfg.AggBlocks, cfg.SpineBlocks))
 }
 
 // validateDirect checks the direct-connect Jupiter envelope.
@@ -201,8 +243,8 @@ func (cfg JupiterConfig) validateDirect() error {
 	if cfg.AggBlocks < 2 {
 		return physerr.OutOfRange("jupiter: need AggBlocks >= 2, got %d", cfg.AggBlocks)
 	}
-	if cfg.UplinksPer < 0 {
-		return physerr.OutOfRange("jupiter: UplinksPer must be >= 0, got %d", cfg.UplinksPer)
+	if cfg.UplinksPer < 0 || cfg.UplinksPer > MaxSwitches {
+		return physerr.OutOfRange("jupiter: UplinksPer must be in [0, %d], got %d", MaxSwitches, cfg.UplinksPer)
 	}
 	if err := checkCommon("jupiter", cfg.ServerPorts, float64(cfg.Rate)); err != nil {
 		return err
@@ -216,9 +258,10 @@ func (cfg TransitMeshConfig) Validate() error {
 		return physerr.OutOfRange("topology: transit mesh needs old, new, and transit blocks (got %d, %d, %d)",
 			cfg.OldBlocks, cfg.NewBlocks, cfg.TransitBlocks)
 	}
-	if cfg.LinksWithinMesh < 1 || cfg.LinksToTransit < 1 {
-		return physerr.OutOfRange("topology: trunk widths must be >= 1 (got %d, %d)",
-			cfg.LinksWithinMesh, cfg.LinksToTransit)
+	if cfg.LinksWithinMesh < 1 || cfg.LinksToTransit < 1 ||
+		cfg.LinksWithinMesh > MaxSwitches || cfg.LinksToTransit > MaxSwitches {
+		return physerr.OutOfRange("topology: trunk widths must be in [1, %d] (got %d, %d)",
+			MaxSwitches, cfg.LinksWithinMesh, cfg.LinksToTransit)
 	}
 	if cfg.OldRate < 0 || cfg.NewRate < 0 {
 		return physerr.OutOfRange("topology: rates must be >= 0 (got %v, %v)", cfg.OldRate, cfg.NewRate)
@@ -226,5 +269,5 @@ func (cfg TransitMeshConfig) Validate() error {
 	if cfg.ServerPorts < 0 {
 		return physerr.OutOfRange("topology: ServerPorts must be >= 0, got %d", cfg.ServerPorts)
 	}
-	return checkSize("transit mesh", cfg.OldBlocks+cfg.NewBlocks+cfg.TransitBlocks)
+	return checkSize("transit mesh", addCap(cfg.OldBlocks, cfg.NewBlocks, cfg.TransitBlocks))
 }

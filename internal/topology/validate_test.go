@@ -2,6 +2,7 @@ package topology
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"physdep/internal/physerr"
@@ -49,6 +50,41 @@ func TestValidateRejectsOutOfRange(t *testing.T) {
 			_, err := TransitMesh(TransitMeshConfig{OldBlocks: 2, NewBlocks: 2, TransitBlocks: 0,
 				LinksWithinMesh: 1, LinksToTransit: 1})
 			return err
+		}},
+		// Regressions for saturation-defeating arithmetic: each of these
+		// once slipped past Validate via overflow or a post-saturation
+		// division and would have allocated billions of nodes/links.
+		// Validate() is called directly so a regression fails the
+		// assertion instead of OOMing inside a build.
+		{"vl2 saturated product divided", func() error {
+			return VL2Config{DA: 131072, DI: 131072}.Validate()
+		}},
+		{"vl2 sum overflow", func() error {
+			return VL2Config{DA: 2, DI: math.MaxInt - 1}.Validate()
+		}},
+		{"jellyfish parity product overflow", func() error {
+			return JellyfishConfig{N: 1 << 40, K: 1 << 41, R: 3}.Validate()
+		}},
+		{"slimfly huge Q rejected before primality", func() error {
+			return SlimFlyConfig{Q: 1<<62 - 57}.Validate()
+		}},
+		{"jupiter spine trunk product overflow", func() error {
+			return JupiterConfig{AggBlocks: 2, SpineBlocks: 2, TrunkWidth: 1 << 62,
+				UplinksPer: math.MinInt}.validateSpine()
+		}},
+		{"jupiter direct huge uplinks", func() error {
+			return JupiterConfig{AggBlocks: 2, UplinksPer: 1 << 40}.validateDirect()
+		}},
+		{"leafspine huge uplinks per tor", func() error {
+			return LeafSpineConfig{Leaves: 2, Spines: 2, UplinksPerTor: 1 << 40}.Validate()
+		}},
+		{"transit sum wraps positive", func() error {
+			return TransitMeshConfig{OldBlocks: math.MaxInt, NewBlocks: math.MaxInt,
+				TransitBlocks: 10, LinksWithinMesh: 1, LinksToTransit: 1}.Validate()
+		}},
+		{"transit huge trunk width", func() error {
+			return TransitMeshConfig{OldBlocks: 2, NewBlocks: 2, TransitBlocks: 1,
+				LinksWithinMesh: 1 << 40, LinksToTransit: 1}.Validate()
 		}},
 	}
 	for _, tc := range cases {
@@ -98,5 +134,17 @@ func TestMulCapSaturates(t *testing.T) {
 	}
 	if got := mulCap(6, 7); got != 42 {
 		t.Errorf("mulCap(6,7) = %d, want 42", got)
+	}
+}
+
+func TestAddCapSaturates(t *testing.T) {
+	if got := addCap(math.MaxInt, math.MaxInt, 10); got != MaxSwitches+1 {
+		t.Errorf("addCap(MaxInt, MaxInt, 10) = %d, want saturated %d", got, MaxSwitches+1)
+	}
+	if got := addCap(MaxSwitches, 1); got != MaxSwitches+1 {
+		t.Errorf("addCap(MaxSwitches, 1) = %d, want saturated %d", got, MaxSwitches+1)
+	}
+	if got := addCap(6, 7); got != 13 {
+		t.Errorf("addCap(6,7) = %d, want 13", got)
 	}
 }
