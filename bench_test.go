@@ -1,6 +1,7 @@
 package physdep
 
 import (
+	"context"
 	"testing"
 
 	"physdep/internal/cabling"
@@ -24,7 +25,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := run()
+		res, err := run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -34,20 +34,24 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"physdep/internal/experiments"
 	"physdep/internal/floorplan"
 	"physdep/internal/obs"
 	"physdep/internal/par"
+	"physdep/internal/physerr"
 	"physdep/internal/placement"
 	"physdep/internal/topology"
 )
@@ -80,7 +84,20 @@ func run() (exit int) {
 	updateGolden := flag.Bool("update-golden", false, "rewrite the golden experiment tables under -golden-dir instead of printing")
 	goldenDir := flag.String("golden-dir", filepath.Join("internal", "experiments", "testdata", "golden"),
 		"directory -update-golden writes <ID>.txt files into")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no deadline); partial results are flushed and the exit code is nonzero")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the context instead of killing the process, so
+	// a ^C still flushes the manifest (marked interrupted) and profiles. A
+	// second signal kills the process the usual way (NotifyContext resets
+	// the handlers once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *workers > 0 {
 		par.SetWorkers(*workers)
@@ -107,7 +124,9 @@ func run() (exit int) {
 		}()
 	}
 	// Observability outputs are flushed however the run exits, so a
-	// failing experiment still leaves a manifest to debug from.
+	// failing experiment still leaves a manifest to debug from. A canceled
+	// run flushes too, with the manifest marked "interrupted": true — the
+	// partial record is the whole point of graceful cancellation.
 	defer func() {
 		if *manifestPath != "" || *trace {
 			snap := obs.TakeSnapshot()
@@ -115,7 +134,7 @@ func run() (exit int) {
 				fmt.Fprint(os.Stderr, snap.RenderTrace())
 			}
 			if *manifestPath != "" {
-				if err := writeJSON(*manifestPath, buildManifest(snap)); err != nil {
+				if err := writeJSON(*manifestPath, buildManifest(snap, ctx.Err() != nil)); err != nil {
 					fail(fmt.Errorf("manifest: %w", err))
 				}
 			}
@@ -139,14 +158,14 @@ func run() (exit int) {
 	order := experiments.Order()
 
 	if *list {
-		for _, o := range experiments.RunMany(order) {
+		for _, o := range experiments.RunManyCtx(ctx, order) {
 			if o.Err != nil {
 				fmt.Fprintf(os.Stderr, "%s: error: %v\n", o.ID, o.Err)
 				continue
 			}
 			fmt.Printf("%-4s %s\n", o.ID, o.Res.Title)
 		}
-		return 0
+		return diagnoseCancel(ctx, 0)
 	}
 
 	ids := order
@@ -163,23 +182,23 @@ func run() (exit int) {
 	}
 
 	if *benchJSON != "" {
-		if err := runBench(ids, *benchJSON, *benchReps, *benchWorkers); err != nil {
+		if err := runBench(ctx, ids, *benchJSON, *benchReps, *benchWorkers); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return diagnoseCancel(ctx, 1)
 		}
-		return 0
+		return diagnoseCancel(ctx, 0)
 	}
 
 	if *updateGolden {
-		if err := writeGolden(ids, *goldenDir); err != nil {
+		if err := writeGolden(ctx, ids, *goldenDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return diagnoseCancel(ctx, 1)
 		}
-		return 0
+		return diagnoseCancel(ctx, 0)
 	}
 
 	failed := 0
-	for _, o := range experiments.RunMany(ids) {
+	for _, o := range experiments.RunManyCtx(ctx, ids) {
 		if o.Err != nil {
 			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", o.ID, o.Err)
 			failed++
@@ -188,26 +207,50 @@ func run() (exit int) {
 		fmt.Println(o.Res.Render())
 	}
 	if failed > 0 {
+		return diagnoseCancel(ctx, 1)
+	}
+	return diagnoseCancel(ctx, 0)
+}
+
+// diagnoseCancel maps a canceled context onto the exit code: if the run
+// was cut short it prints the one-line cause (^C vs deadline) and forces
+// a nonzero exit, otherwise it passes code through untouched. Called on
+// every exit path so a cancellation can never masquerade as success.
+func diagnoseCancel(ctx context.Context, code int) int {
+	err := ctx.Err()
+	if err == nil {
+		return code
+	}
+	// The kernels classify this as physerr.ErrCanceled; print the
+	// classified form so scripts can match one string for both the CLI
+	// diagnostic and in-table experiment errors.
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", physerr.Canceled(err))
+	if code == 0 {
 		return 1
 	}
-	return 0
+	return code
 }
 
 // writeGolden regenerates the golden corpus: one <ID>.txt per selected
 // experiment, holding exactly Result.Render(). The committed files are
 // the canonical experiment tables the regression tests diff against —
 // rewrite them only when a table is meant to change, and review the
-// diff like code.
-func writeGolden(ids []string, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	for _, o := range experiments.RunMany(ids) {
+// diff like code. All experiments run before any file is touched, and
+// each file is replaced atomically, so a failed or canceled update can
+// never leave a half-written or half-updated corpus behind.
+func writeGolden(ctx context.Context, ids []string, dir string) error {
+	outs := experiments.RunManyCtx(ctx, ids)
+	for _, o := range outs {
 		if o.Err != nil {
 			return fmt.Errorf("%s: %w", o.ID, o.Err)
 		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, o := range outs {
 		path := filepath.Join(dir, o.ID+".txt")
-		if err := os.WriteFile(path, []byte(o.Res.Render()), 0o644); err != nil {
+		if err := atomicWriteFile(path, []byte(o.Res.Render())); err != nil {
 			return err
 		}
 		fmt.Println(path)
@@ -236,7 +279,7 @@ type benchEntry struct {
 	Samples    []benchSample `json:"samples"`
 }
 
-func runBench(ids []string, outPath string, reps int, workerList string) error {
+func runBench(ctx context.Context, ids []string, outPath string, reps int, workerList string) error {
 	if reps < 1 {
 		reps = 1
 	}
@@ -254,19 +297,19 @@ func runBench(ids []string, outPath string, reps int, workerList string) error {
 	var tasks []task
 	for _, id := range ids {
 		run := experiments.Get(id)
-		o := experiments.RunMany([]string{id})[0] // warm-up + title
+		o := experiments.RunManyCtx(ctx, []string{id})[0] // warm-up + title
 		if o.Err != nil {
 			return fmt.Errorf("%s failed during warm-up: %v", id, o.Err)
 		}
 		tasks = append(tasks, task{id: id, title: o.Res.Title, run: func() error {
-			_, err := run()
+			_, err := run(ctx)
 			return err
 		}})
 	}
 	tasks = append(tasks, task{
 		id:    "ABLATION_PLACEMENT",
 		title: "Placement annealing, 4 restart chains × 20k steps (bench_test.go ablation)",
-		run:   benchPlacementKernel,
+		run:   func() error { return benchPlacementKernel(ctx) },
 	})
 
 	var entries []benchEntry
@@ -320,7 +363,7 @@ func summarize(e benchEntry) string {
 
 // benchPlacementKernel mirrors BenchmarkAblationPlacement: greedy
 // placement of a k=8 fat-tree, then 4 annealing restart chains.
-func benchPlacementKernel() error {
+func benchPlacementKernel(ctx context.Context) error {
 	ft, err := topology.FatTree(topology.FatTreeConfig{K: 8, Rate: 100})
 	if err != nil {
 		return err
@@ -333,8 +376,8 @@ func benchPlacementKernel() error {
 	if err != nil {
 		return err
 	}
-	placement.OptimizeRestarts(p, 20000, 1, 4)
-	return nil
+	_, _, err = placement.OptimizeRestartsCtx(ctx, p, 20000, 1, 4)
+	return err
 }
 
 func writeBench(entries []benchEntry, outPath string) error {
@@ -360,5 +403,29 @@ func writeJSON(path string, v any) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(b, '\n'), 0o644)
+	return atomicWriteFile(path, append(b, '\n'))
+}
+
+// atomicWriteFile writes data to path via a temp file in the same
+// directory plus rename, so readers (and a previous good artifact) never
+// see a torn write: a crash or cancellation mid-write leaves the old
+// file byte-for-byte intact.
+func atomicWriteFile(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -23,6 +23,10 @@ type manifest struct {
 	GoMaxProcs int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
 	Workers    int    `json:"workers"`
+	// Interrupted marks a manifest flushed after the run was cut short by
+	// SIGINT/SIGTERM or -timeout: the spans and counters below describe
+	// only the work that finished before the cancellation.
+	Interrupted bool `json:"interrupted,omitempty"`
 
 	Experiments []manifestExperiment `json:"experiments"`
 	Counters    map[string]int64     `json:"counters,omitempty"`
@@ -42,17 +46,19 @@ type manifestExperiment struct {
 }
 
 // buildManifest distills the obs snapshot into the run manifest.
-func buildManifest(snap obs.Snapshot) manifest {
+// interrupted marks a partial run (see manifest.Interrupted).
+func buildManifest(snap obs.Snapshot, interrupted bool) manifest {
 	m := manifest{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Workers:    par.Workers(),
-		Counters:   snap.Counters,
-		Gauges:     snap.Gauges,
+		Date:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Workers:     par.Workers(),
+		Interrupted: interrupted,
+		Counters:    snap.Counters,
+		Gauges:      snap.Gauges,
 	}
 	spans := append([]*obs.SpanData(nil), snap.Spans...)
 	obs.SortSpans(spans)

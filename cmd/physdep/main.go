@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"physdep/internal/cli"
 	"physdep/internal/core"
@@ -41,8 +44,20 @@ func main() {
 		techs    = flag.Int("techs", 8, "deployment crew size")
 		anneal   = flag.Int("anneal", 0, "placement annealing steps (0 = greedy only)")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		timeout  = flag.Duration("timeout", 0, "cancel the evaluation after this long (0 = no deadline)")
 	)
 	flag.Parse()
+
+	// ^C/SIGTERM cancel the evaluation gracefully (one-line diagnostic,
+	// nonzero exit) instead of killing the process mid-print; a second
+	// signal kills it the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	tp, err := cli.BuildTopology(cli.TopoParams{
 		Name: *topoName, K: *k, N: *n, Radix: *radix, Net: *net, D: *d,
@@ -56,7 +71,7 @@ func main() {
 	in.Techs = *techs
 	in.PlacementSteps = *anneal
 	in.Seed = *seed
-	rep, err := core.Evaluate(in)
+	rep, err := core.EvaluateCtx(ctx, in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)

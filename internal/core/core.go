@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -121,6 +122,17 @@ func (in Input) Validate() error {
 
 // Evaluate runs the full pipeline. It is deterministic per Input.Seed.
 func Evaluate(in Input) (*Report, error) {
+	return EvaluateCtx(context.Background(), in)
+}
+
+// EvaluateCtx is Evaluate with cancellation. The context threads into
+// every long-running phase — placement annealing, deployment execution,
+// and the sampled abstract stats (bisection estimate, all-pairs BFS) —
+// so a deadline interrupts an evaluation mid-phase, not just between
+// phases. A canceled evaluation returns a nil report and an error
+// matching physerr.ErrCanceled; a completed one is byte-identical to
+// Evaluate.
+func EvaluateCtx(ctx context.Context, in Input) (*Report, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -149,7 +161,9 @@ func Evaluate(in Input) (*Report, error) {
 		return nil, err
 	}
 	if in.PlacementSteps > 0 {
-		placement.OptimizeRestarts(p, in.PlacementSteps, in.Seed, in.PlacementRestarts)
+		if _, _, err := placement.OptimizeRestartsCtx(ctx, p, in.PlacementSteps, in.Seed, in.PlacementRestarts); err != nil {
+			return nil, err
+		}
 	}
 	ps.End()
 
@@ -163,7 +177,7 @@ func Evaluate(in Input) (*Report, error) {
 
 	ds := sp.Child("deploy")
 	dp := deploy.Build(p, plan, in.Model, deploy.BuildOptions{Prebundle: in.Prebundle})
-	sched, err := deploy.Execute(dp, in.Model, f, deploy.ExecOptions{Techs: in.Techs, Seed: in.Seed})
+	sched, err := deploy.ExecuteCtx(ctx, dp, in.Model, f, deploy.ExecOptions{Techs: in.Techs, Seed: in.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +194,10 @@ func Evaluate(in Input) (*Report, error) {
 
 	rep := &Report{Name: in.Topo.Name}
 	as := sp.Child("abstract")
-	rep.fillAbstract(in)
+	if err := rep.fillAbstract(ctx, in); err != nil {
+		as.End()
+		return nil, err
+	}
 	as.End()
 	rep.Cabling = plan.Summarize()
 	rep.Bundleability = plan.BundleabilityScore(4)
@@ -214,18 +231,30 @@ func Evaluate(in Input) (*Report, error) {
 	return rep, nil
 }
 
-func (r *Report) fillAbstract(in Input) {
-	st := in.Topo.BasicStats()
+func (r *Report) fillAbstract(ctx context.Context, in Input) error {
+	st, err := in.Topo.BasicStatsCtx(ctx)
+	if err != nil {
+		return err
+	}
 	rng := rand.New(rand.NewPCG(in.Seed, in.Seed^0xab5))
+	// SpectralGap must draw from rng before BisectionEstimateCtx — that is
+	// the order the struct literal evaluated them in historically, and the
+	// shared stream makes the order part of the golden contract.
+	gap := in.Topo.SpectralGap(200, rng)
+	bisect, err := in.Topo.BisectionEstimateCtx(ctx, 4, rng)
+	if err != nil {
+		return err
+	}
 	r.Abstract = AbstractStats{
 		Switches:    st.Switches,
 		Links:       st.Links,
 		Servers:     st.Servers,
 		ToRDiameter: st.ToRDiam,
 		ToRMeanHops: st.ToRMean,
-		SpectralGap: in.Topo.SpectralGap(200, rng),
-		BisectionGb: in.Topo.BisectionEstimate(4, rng),
+		SpectralGap: gap,
+		BisectionGb: bisect,
 	}
+	return nil
 }
 
 // Row renders the report as one aligned table row; Header gives the

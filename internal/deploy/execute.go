@@ -2,12 +2,14 @@ package deploy
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand/v2"
 
 	"physdep/internal/costmodel"
 	"physdep/internal/floorplan"
 	"physdep/internal/obs"
+	"physdep/internal/physerr"
 	"physdep/internal/units"
 )
 
@@ -55,6 +57,19 @@ type ExecOptions struct {
 // relocation. Validation failures (per first-pass yield) insert rework +
 // revalidate work on the fly.
 func Execute(p *Plan, m *costmodel.Model, f *floorplan.Floorplan, opts ExecOptions) (Schedule, error) {
+	return ExecuteCtx(context.Background(), p, m, f, opts)
+}
+
+// executeChunkTasks is how many scheduled tasks run between context
+// checks in ExecuteCtx.
+const executeChunkTasks = 1024
+
+// ExecuteCtx is Execute with cancellation, checked every
+// executeChunkTasks dispatches of the scheduling loop. A canceled run
+// discards the half-built schedule (its makespan and labor totals would
+// describe a deployment nobody finished) and returns an error matching
+// physerr.ErrCanceled; a completed run is byte-identical to Execute.
+func ExecuteCtx(ctx context.Context, p *Plan, m *costmodel.Model, f *floorplan.Floorplan, opts ExecOptions) (Schedule, error) {
 	defer obs.Time("deploy.execute")()
 	if err := p.Validate(); err != nil {
 		return Schedule{}, err
@@ -127,7 +142,13 @@ func Execute(p *Plan, m *costmodel.Model, f *floorplan.Floorplan, opts ExecOptio
 		return t.ID
 	}
 
-	for remaining > 0 {
+	cancellable := ctx.Done() != nil
+	for dispatched := 0; remaining > 0; dispatched++ {
+		if cancellable && dispatched%executeChunkTasks == 0 {
+			if err := ctx.Err(); err != nil {
+				return Schedule{}, physerr.Canceled(err)
+			}
+		}
 		if rq.Len() == 0 {
 			return Schedule{}, fmt.Errorf("deploy: scheduler starved with %d tasks remaining (cycle?)", remaining)
 		}

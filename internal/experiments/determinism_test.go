@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"physdep/internal/obs"
@@ -14,6 +15,11 @@ import (
 // with collection on — and both must match the committed golden file.
 // Parallelism is a wall-clock lever, observability a side channel;
 // neither may move a number.
+//
+// The parallel run additionally executes under a live cancellable
+// context (never canceled): DESIGN.md §9 promises that merely being
+// cancellable — which switches the par layer and every chunked kernel
+// onto their context-checking paths — cannot move a number either.
 func TestExperimentsByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow; skipping in -short mode")
@@ -22,14 +28,20 @@ func TestExperimentsByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		t.Helper()
 		par.SetWorkers(workers)
 		defer par.SetWorkers(0)
+		ctx := context.Background()
 		if collect {
 			obs.Enable()
 			defer func() {
 				obs.Disable()
 				obs.Reset()
 			}()
+			// A WithCancel context has a non-nil Done channel, so this run
+			// exercises the cancellation-aware code paths end to end.
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithCancel(ctx)
+			defer cancel()
 		}
-		res, err := Get(id)()
+		res, err := Get(id)(ctx)
 		if err != nil {
 			t.Fatalf("%s with workers=%d obs=%v: %v", id, workers, collect, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"physdep/internal/cabling"
@@ -39,7 +40,7 @@ func buildTwinFixture() (*placement.Placement, *cabling.Plan, *twin.Model, error
 // E10TwinDryRun plants one violation of each rule class in a valid
 // build's twin, verifies the twin catches every one, and prices the
 // remediation against discovering them at install or live stages.
-func E10TwinDryRun() (*Result, error) {
+func E10TwinDryRun(ctx context.Context) (*Result, error) {
 	_, _, m, err := buildTwinFixture()
 	if err != nil {
 		return nil, err
@@ -147,7 +148,7 @@ func E10TwinDryRun() (*Result, error) {
 
 // E13Decom compares twin-checked decommissioning against naive
 // remove-by-age on a network carrying three cable generations.
-func E13Decom() (*Result, error) {
+func E13Decom(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E13",
 		Title: "Decommissioning: safe-to-remove analysis vs remove-by-age",
@@ -201,7 +202,7 @@ func E13Decom() (*Result, error) {
 // E14Envelope mutates a valid design 500 ways and measures how many land
 // outside the declarative schema's capability envelope — the early
 // warning of §5.2.
-func E14Envelope() (*Result, error) {
+func E14Envelope(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E14",
 		Title: "Capability envelope: which design variants can even be represented?",

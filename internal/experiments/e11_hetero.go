@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"physdep/internal/cabling"
@@ -45,7 +46,7 @@ func mixedRateLeafSpine(newLeaves int) (*topology.Topology, error) {
 // generational mix and reports the diversity metrics plus cabling
 // consequences — how many link speeds one network absorbs (§5.4's
 // "diversity-support" metric).
-func E11Heterogeneity() (*Result, error) {
+func E11Heterogeneity(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E11",
 		Title: "Generational heterogeneity: mixed 100G/400G fabric",
@@ -58,7 +59,7 @@ func E11Heterogeneity() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := core.Evaluate(core.DefaultInput(tp, floorplan.DefaultHall(4, 12)))
+		rep, err := core.EvaluateCtx(ctx, core.DefaultInput(tp, floorplan.DefaultHall(4, 12)))
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +94,7 @@ func E11Heterogeneity() (*Result, error) {
 // E12Fungibility prices the supply-chain design rule: plan a fabric's
 // cables against a two-vendor catalog, lose the primary vendor, and
 // compare; then price the second-best design envelope.
-func E12Fungibility() (*Result, error) {
+func E12Fungibility(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E12",
 		Title: "Fungibility: vendor loss and the second-best design envelope",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"physdep/internal/cabling"
@@ -20,7 +21,7 @@ import (
 // deployment pipeline's length is a forecasting lead time, and longer
 // leads mean worse forecasts, more stranded demand, and more idle
 // capital.
-func E15CapacityPlanning() (*Result, error) {
+func E15CapacityPlanning(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E15",
 		Title: "Deployment speed as forecast lead time",
@@ -54,7 +55,7 @@ func E15CapacityPlanning() (*Result, error) {
 // E16TopologyEngineering quantifies the §4.1 Jupiter Evolving capability:
 // an OCS mesh reshaped to a skewed inter-block demand admits more
 // traffic than the uniform mesh, at software-speed reconfiguration cost.
-func E16TopologyEngineering() (*Result, error) {
+func E16TopologyEngineering(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E16",
 		Title: "OCS topology engineering vs uniform mesh under skewed demand",
@@ -104,11 +105,11 @@ func E16TopologyEngineering() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		au, err := trafficsim.KSPThroughput(tu, tm, trafficsim.DefaultKSP())
+		au, err := trafficsim.KSPThroughputCtx(ctx, tu, tm, trafficsim.DefaultKSP())
 		if err != nil {
 			return nil, err
 		}
-		ae, err := trafficsim.KSPThroughput(te, tm, trafficsim.DefaultKSP())
+		ae, err := trafficsim.KSPThroughputCtx(ctx, te, tm, trafficsim.DefaultKSP())
 		if err != nil {
 			return nil, err
 		}
@@ -131,7 +132,7 @@ func E16TopologyEngineering() (*Result, error) {
 // E17ActivePanels quantifies §5.1: intelligent patch panels cut the
 // fault-localization component of MTTR on the cable plant, at a capex
 // premium per panel.
-func E17ActivePanels() (*Result, error) {
+func E17ActivePanels(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E17",
 		Title: "Active ('intelligent') patch panels: MTTR vs capex",
@@ -151,7 +152,7 @@ func E17ActivePanels() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := repair.SimulateMany(sys, 8760, 16, 8, 31)
+		r, err := repair.SimulateManyCtx(ctx, sys, 8760, 16, 8, 31)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +172,7 @@ func E17ActivePanels() (*Result, error) {
 // E18RobotCrews quantifies the §2 aside — "what if we want robots to do
 // the work instead?" — by executing the same deployment plan under the
 // human and robot labor books.
-func E18RobotCrews() (*Result, error) {
+func E18RobotCrews(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E18",
 		Title: "Human vs robot deployment crews",
@@ -203,7 +204,7 @@ func E18RobotCrews() (*Result, error) {
 			return nil, err
 		}
 		dp := deploy.Build(p, plan, v.model, deploy.BuildOptions{Prebundle: true})
-		s, err := deploy.Execute(dp, v.model, f, deploy.ExecOptions{Techs: v.techs, Seed: 13})
+		s, err := deploy.ExecuteCtx(ctx, dp, v.model, f, deploy.ExecOptions{Techs: v.techs, Seed: 13})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"physdep/internal/costmodel"
@@ -15,7 +16,7 @@ import (
 // failures for a fat-tree and a Jellyfish at matched size — §3.3's
 // "mitigation techniques generally cannot tolerate large numbers of
 // concurrent failures", with the expander's path diversity on display.
-func E19FailureDegradation() (*Result, error) {
+func E19FailureDegradation(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E19",
 		Title: "Throughput under concurrent link failures",
@@ -63,7 +64,7 @@ func E19FailureDegradation() (*Result, error) {
 // might be sufficiently cheaper up-front to merit its use." Three
 // strategies serve the same 4-year demand growth; cumulative cost
 // (capex + expansion labor) is tracked year by year.
-func E20DayOneVsLifetime() (*Result, error) {
+func E20DayOneVsLifetime(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E20",
 		Title: "Day-1 cost vs lifetime cost under demand growth",

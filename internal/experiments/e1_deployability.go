@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"physdep/internal/core"
@@ -64,7 +65,7 @@ func e1Topologies() ([]*topology.Topology, error) {
 // E1Deployability deploys each topology family into the same hall at
 // ~1000 servers and reports the full deployability scorecard side by
 // side — the comparison the paper says traditional metrics never show.
-func E1Deployability() (*Result, error) {
+func E1Deployability(ctx context.Context) (*Result, error) {
 	topos, err := e1Topologies()
 	if err != nil {
 		return nil, err
@@ -78,8 +79,8 @@ func E1Deployability() (*Result, error) {
 	res.Lines = append(res.Lines, core.Header())
 	// One full pipeline evaluation per topology, fanned out; rows land in
 	// topology order regardless of which finishes first.
-	rows, err := par.Map(len(topos), func(i int) (string, error) {
-		rep, err := core.Evaluate(core.DefaultInput(topos[i], e1Hall()))
+	rows, err := par.MapCtx(ctx, len(topos), func(i int) (string, error) {
+		rep, err := core.EvaluateCtx(ctx, core.DefaultInput(topos[i], e1Hall()))
 		if err != nil {
 			return "", fmt.Errorf("%s: %w", topos[i].Name, err)
 		}
@@ -96,7 +97,7 @@ func E1Deployability() (*Result, error) {
 // traffic at full server egress, KSP routing for the flat fabrics, ECMP
 // for the trees) with its deployment cost — the paper's central tension
 // as a scatter table.
-func E7ThroughputVsDeploy() (*Result, error) {
+func E7ThroughputVsDeploy(ctx context.Context) (*Result, error) {
 	topos, err := e1Topologies()
 	if err != nil {
 		return nil, err
@@ -112,9 +113,9 @@ func E7ThroughputVsDeploy() (*Result, error) {
 			"topology", "routing", "alpha", "ideal", "norm_tput", "deploy_hrs", "labor_$", "bundle%"))
 	// Each topology's deploy evaluation + throughput solve is independent;
 	// fan them out and keep the rows in topology order.
-	rows, err := par.Map(len(topos), func(i int) (string, error) {
+	rows, err := par.MapCtx(ctx, len(topos), func(i int) (string, error) {
 		tp := topos[i]
-		rep, err := core.Evaluate(core.DefaultInput(tp, e1Hall()))
+		rep, err := core.EvaluateCtx(ctx, core.DefaultInput(tp, e1Hall()))
 		if err != nil {
 			return "", fmt.Errorf("%s: %w", tp.Name, err)
 		}
@@ -130,12 +131,15 @@ func E7ThroughputVsDeploy() (*Result, error) {
 			alpha, err = trafficsim.ECMPThroughput(tp, m)
 		} else {
 			routing = "ksp"
-			alpha, err = trafficsim.KSPThroughput(tp, m, trafficsim.KSPConfig{K: 12, Slack: 1, Chunks: 12})
+			alpha, err = trafficsim.KSPThroughputCtx(ctx, tp, m, trafficsim.KSPConfig{K: 12, Slack: 1, Chunks: 12})
 		}
 		if err != nil {
 			return "", fmt.Errorf("%s throughput: %w", tp.Name, err)
 		}
-		ideal := idealAlpha(tp, perToR)
+		ideal, err := idealAlpha(ctx, tp, perToR)
+		if err != nil {
+			return "", err
+		}
 		norm := alpha * float64(tp.Servers()) * 100 / float64(tp.NumSwitches())
 		return fmt.Sprintf("%-22s %7s %9.3f %9.3f %10.0f %12.1f %10.0f %8.1f",
 			tp.Name, routing, alpha, ideal, norm, float64(rep.TimeToDeploy),
@@ -152,10 +156,13 @@ func E7ThroughputVsDeploy() (*Result, error) {
 // idealAlpha is the fluid upper bound on the admissible scale of uniform
 // traffic: total directed link capacity divided by (total demand × mean
 // ToR-to-ToR hop distance). No routing scheme can beat it.
-func idealAlpha(tp *topology.Topology, perToR float64) float64 {
-	st := tp.AllPairsStats(tp.ToRs())
+func idealAlpha(ctx context.Context, tp *topology.Topology, perToR float64) (float64, error) {
+	st, err := tp.AllPairsStatsCtx(ctx, tp.ToRs())
+	if err != nil {
+		return 0, err
+	}
 	if st.MeanHops == 0 {
-		return 0
+		return 0, nil
 	}
 	capacity := 0.0
 	for _, e := range tp.Edges {
@@ -169,5 +176,5 @@ func idealAlpha(tp *topology.Topology, perToR float64) float64 {
 		capacity += 2 * c // full duplex
 	}
 	demand := perToR * float64(len(tp.ToRs()))
-	return capacity / (demand * st.MeanHops)
+	return capacity / (demand * st.MeanHops), nil
 }

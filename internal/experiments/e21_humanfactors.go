@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"physdep/internal/cabling"
@@ -15,7 +16,7 @@ import (
 // only so many people fit in front of it. Crew-size scaling hits a wall
 // set by per-rack concurrency, not headcount — a constraint invisible to
 // any abstract network model.
-func E21HumanFactors() (*Result, error) {
+func E21HumanFactors(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E21",
 		Title: "Crew scaling under per-rack workspace limits",
@@ -49,7 +50,7 @@ func E21HumanFactors() (*Result, error) {
 			cap int
 			dst *float64
 		}{{0, &pt.unlimited}, {2, &pt.cap2}, {1, &pt.cap1}} {
-			s, err := deploy.Execute(dp, m, f, deploy.ExecOptions{
+			s, err := deploy.ExecuteCtx(ctx, dp, m, f, deploy.ExecOptions{
 				Techs: techs, Seed: 5, YieldOverride: 1, MaxWorkersPerRack: v.cap})
 			if err != nil {
 				return nil, err

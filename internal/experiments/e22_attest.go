@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -12,7 +13,7 @@ import (
 // attacks of the classes the paper cites (hardware implants along the
 // journey, remote firmware modification, unverified installs) are
 // injected, and continuous auditing must catch every one.
-func E22SupplyChainAudit() (*Result, error) {
+func E22SupplyChainAudit(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E22",
 		Title: "Supply-chain custody audit: injected attacks vs detections",

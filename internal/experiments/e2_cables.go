@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,7 +18,7 @@ import (
 // media the catalog selects, the cost, and the cross-section — the §3.1
 // physics: copper dies with distance, 400G copper is 2.7× fatter, and a
 // rack of 256 of them stops fitting.
-func E2MediaCrossover() (*Result, error) {
+func E2MediaCrossover(ctx context.Context) (*Result, error) {
 	cat := cabling.DefaultCatalog()
 	res := &Result{
 		ID:    "E2",
@@ -74,7 +75,7 @@ func E2MediaCrossover() (*Result, error) {
 
 // e8Fixture deploys a mid-size fat-tree twice: once with pre-built
 // bundles, once pulling every cable individually.
-func e8Fixture() (withB, withoutB deploy.Schedule, model *costmodel.Model, err error) {
+func e8Fixture(ctx context.Context) (withB, withoutB deploy.Schedule, model *costmodel.Model, err error) {
 	model = costmodel.Default()
 	ft, err := topology.FatTree(topology.FatTreeConfig{K: 8, Rate: 100})
 	if err != nil {
@@ -99,7 +100,7 @@ func e8Fixture() (withB, withoutB deploy.Schedule, model *costmodel.Model, err e
 		}
 		dp := deploy.Build(p, plan, model, deploy.BuildOptions{Prebundle: pre})
 		var s deploy.Schedule
-		s, err = deploy.Execute(dp, model, f, deploy.ExecOptions{Techs: 8, Seed: 7})
+		s, err = deploy.ExecuteCtx(ctx, dp, model, f, deploy.ExecOptions{Techs: 8, Seed: 7})
 		if err != nil {
 			return
 		}
@@ -114,8 +115,8 @@ func e8Fixture() (withB, withoutB deploy.Schedule, model *costmodel.Model, err e
 
 // E8Bundling quantifies Singh et al.'s pre-built-bundle savings on a
 // k=8 fat-tree build.
-func E8Bundling() (*Result, error) {
-	withB, withoutB, model, err := e8Fixture()
+func E8Bundling(ctx context.Context) (*Result, error) {
+	withB, withoutB, model, err := e8Fixture(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -141,7 +142,7 @@ func E8Bundling() (*Result, error) {
 
 // E9StrandedCapital reproduces the §2.3 arithmetic: an extra few minutes
 // per installed item, times 10k items, times stranded server capital.
-func E9StrandedCapital() (*Result, error) {
+func E9StrandedCapital(ctx context.Context) (*Result, error) {
 	m := costmodel.Default()
 	res := &Result{
 		ID:    "E9",

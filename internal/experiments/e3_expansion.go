@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -14,7 +15,7 @@ import (
 // compares live-link rewiring cost: Clos-through-panels (minimal
 // rewiring à la Zhao), Xpander (d/2 per ToR), and Jellyfish (r/2 random
 // splices per ToR) — the Zhang-style lifecycle metrics.
-func E3ExpansionComplexity() (*Result, error) {
+func E3ExpansionComplexity(ctx context.Context) (*Result, error) {
 	m := costmodel.Default()
 	res := &Result{
 		ID:    "E3",
@@ -74,7 +75,7 @@ func E3ExpansionComplexity() (*Result, error) {
 
 // E4JupiterConversion reproduces the §4.3 case study numbers: converting
 // a live Jupiter from fat-tree to direct-connect, rack by rack.
-func E4JupiterConversion() (*Result, error) {
+func E4JupiterConversion(ctx context.Context) (*Result, error) {
 	cfg := lifecycle.DefaultConversionConfig()
 	res := &Result{
 		ID:    "E4",
@@ -117,7 +118,7 @@ func E4JupiterConversion() (*Result, error) {
 // E5IndirectionBenefit expands the same logical Clos two ways: through a
 // patch-panel layer (§4.1, Zhao et al.) and by directly re-pulling
 // fibers across the floor, comparing touched sites and labor.
-func E5IndirectionBenefit() (*Result, error) {
+func E5IndirectionBenefit(ctx context.Context) (*Result, error) {
 	m := costmodel.Default()
 	res := &Result{
 		ID:    "E5",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"physdep/internal/repair"
@@ -9,7 +10,7 @@ import (
 // E6UnitOfRepair sweeps switch radix at constant total ports and
 // constant per-port failure exposure, showing how bigger units of repair
 // concentrate drained capacity — the §3.3 tradeoff.
-func E6UnitOfRepair() (*Result, error) {
+func E6UnitOfRepair(ctx context.Context) (*Result, error) {
 	res := &Result{
 		ID:    "E6",
 		Title: "Unit of repair: radix vs drained ports and availability",
@@ -26,7 +27,7 @@ func E6UnitOfRepair() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := repair.SimulateMany(sys, 8760, 8, 10, 21)
+		r, err := repair.SimulateManyCtx(ctx, sys, 8760, 8, 10, 21)
 		if err != nil {
 			return nil, err
 		}
@@ -42,7 +43,7 @@ func E6UnitOfRepair() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := repair.SimulateMany(sys, 8760, 8, 10, 22)
+	r, err := repair.SimulateManyCtx(ctx, sys, 8760, 8, 10, 22)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -13,6 +15,7 @@ import (
 
 	"physdep/internal/obs"
 	"physdep/internal/par"
+	"physdep/internal/physerr"
 )
 
 // Result is one regenerated table.
@@ -38,8 +41,10 @@ func (r *Result) Render() string {
 	return b.String()
 }
 
-// Runner produces one experiment.
-type Runner func() (*Result, error)
+// Runner produces one experiment. The context cancels the experiment's
+// long-running kernels mid-run (see DESIGN.md §9); runners that complete
+// are byte-identical regardless of the context used.
+type Runner func(ctx context.Context) (*Result, error)
 
 var (
 	allOnce sync.Once
@@ -119,9 +124,27 @@ type Outcome struct {
 // cmd/experiments keeps its output byte-identical to a serial run.
 // Unknown IDs yield an error outcome.
 func RunMany(ids []string) []Outcome {
+	return RunManyCtx(context.Background(), ids)
+}
+
+// RunManyCtx is RunMany with cancellation: ctx gates experiment hand-out
+// (par contract) and threads into each running experiment's kernels, so
+// a deadline stops a batch mid-experiment. Experiments the batch never
+// started (and ones the cancellation cut short) carry an error matching
+// physerr.ErrCanceled in their outcome; experiments that finished before
+// the cancellation keep their real results, so a partial manifest still
+// reports the work that was done.
+func RunManyCtx(ctx context.Context, ids []string) []Outcome {
 	out := make([]Outcome, len(ids))
-	par.For(len(ids), func(k int) error {
-		out[k].ID = ids[k]
+	for k, id := range ids {
+		out[k].ID = id // prefilled so skipped tasks still carry their ID
+	}
+	// par.ForCtx reports only the lowest failing index; each outcome
+	// carries its own error, so the batch error is reconstructed from the
+	// outcomes below instead. A per-task error would also stop the batch
+	// early, which is wrong here: a failing experiment must not keep the
+	// rest from running.
+	batchErr := par.ForCtx(ctx, len(ids), func(k int) error {
 		run := Get(ids[k])
 		if run == nil {
 			out[k].Err = fmt.Errorf("unknown experiment %q", ids[k])
@@ -132,7 +155,7 @@ func RunMany(ids []string) []Outcome {
 		if sp != nil {
 			runtime.ReadMemStats(&m0)
 		}
-		out[k].Res, out[k].Err = run()
+		out[k].Res, out[k].Err = run(ctx)
 		if sp != nil {
 			// Allocation deltas are process-wide, so with concurrent
 			// experiments they over-count per experiment; they are exact
@@ -149,5 +172,14 @@ func RunMany(ids []string) []Outcome {
 		sp.End()
 		return nil
 	})
+	if batchErr != nil && errors.Is(batchErr, physerr.ErrCanceled) {
+		// Tasks par never handed out have no result and no error; mark
+		// them canceled so callers can tell "skipped" from "ran clean".
+		for k := range out {
+			if out[k].Res == nil && out[k].Err == nil {
+				out[k].Err = batchErr
+			}
+		}
+	}
 	return out
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -27,7 +28,7 @@ func TestAllExperimentsRun(t *testing.T) {
 			t.Fatalf("order lists %s but registry lacks it", id)
 		}
 		t.Run(id, func(t *testing.T) {
-			res, err := run()
+			res, err := run(context.Background())
 			if err != nil {
 				t.Fatalf("%s failed: %v", id, err)
 			}
@@ -56,7 +57,7 @@ func TestE1ShapeExpanderFewerSwitchesLowerBundleability(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	res, err := E1Deployability()
+	res, err := E1Deployability(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func lessNum(t *testing.T, a, b string) bool {
 }
 
 func TestE3ShapePanelsBeatExpanders(t *testing.T) {
-	res, err := E3ExpansionComplexity()
+	res, err := E3ExpansionComplexity(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestE19ShapeExpanderRetainsMore(t *testing.T) {
 	if testing.Short() {
 		t.Skip("slow")
 	}
-	res, err := E19FailureDegradation()
+	res, err := E19FailureDegradation(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestE19ShapeExpanderRetainsMore(t *testing.T) {
 }
 
 func TestE16ShapeEngineeringWins(t *testing.T) {
-	res, err := E16TopologyEngineering()
+	res, err := E16TopologyEngineering(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -66,7 +67,7 @@ func TestAllReturnsDefensiveCopy(t *testing.T) {
 		delete(m, id)
 	}
 	m["E1"] = nil
-	m["BOGUS"] = func() (*Result, error) { return nil, nil }
+	m["BOGUS"] = func(context.Context) (*Result, error) { return nil, nil }
 
 	if Get("E1") == nil {
 		t.Fatal("mutating All()'s return poisoned Get(\"E1\")")

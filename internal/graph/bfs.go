@@ -1,8 +1,11 @@
 package graph
 
 import (
+	"context"
+
 	"physdep/internal/obs"
 	"physdep/internal/par"
+	"physdep/internal/physerr"
 )
 
 // BFS returns hop distances from src to every node; unreachable nodes get
@@ -60,6 +63,17 @@ const parallelSourcesMin = 24
 // (sum, max, counts), so the result is identical to the serial sweep for
 // any worker count.
 func (g *Graph) AllPairsStats(nodes []int) PathStats {
+	// A background context cannot cancel, and the sweep has no other
+	// failure mode, so the error is structurally nil here.
+	st, _ := g.AllPairsStatsCtx(context.Background(), nodes)
+	return st
+}
+
+// AllPairsStatsCtx is AllPairsStats with cancellation: ctx is checked
+// before each source's BFS (the unit of work), so a canceled sweep stops
+// within one source and returns an error matching physerr.ErrCanceled.
+// A sweep that completes is byte-identical to AllPairsStats.
+func (g *Graph) AllPairsStatsCtx(ctx context.Context, nodes []int) (PathStats, error) {
 	defer obs.Time("graph.allpairs")()
 	if nodes == nil {
 		nodes = make([]int, g.N)
@@ -95,7 +109,13 @@ func (g *Graph) AllPairsStats(nodes []int) PathStats {
 		parts = make([]partial, 1)
 		dist := make([]int, g.N)
 		var queue []int
+		cancellable := ctx.Done() != nil
 		for _, u := range nodes {
+			if cancellable {
+				if err := ctx.Err(); err != nil {
+					return PathStats{}, physerr.Canceled(err)
+				}
+			}
 			queue = g.BFSInto(u, dist, queue)
 			accumulate(&parts[0], dist, u)
 		}
@@ -103,7 +123,7 @@ func (g *Graph) AllPairsStats(nodes []int) PathStats {
 		parts = make([]partial, par.Workers())
 		dists := make([][]int, len(parts))
 		queues := make([][]int, len(parts))
-		par.ForWorker(len(nodes), func(wk, i int) error {
+		err := par.ForWorkerCtx(ctx, len(nodes), func(wk, i int) error {
 			if dists[wk] == nil {
 				dists[wk] = make([]int, g.N)
 			}
@@ -111,6 +131,9 @@ func (g *Graph) AllPairsStats(nodes []int) PathStats {
 			accumulate(&parts[wk], dists[wk], nodes[i])
 			return nil
 		})
+		if err != nil {
+			return PathStats{}, err
+		}
 	}
 	var st PathStats
 	var sum int64
@@ -125,7 +148,7 @@ func (g *Graph) AllPairsStats(nodes []int) PathStats {
 	if st.Reachable > 0 {
 		st.MeanHops = float64(sum) / float64(st.Reachable)
 	}
-	return st
+	return st, nil
 }
 
 // Connected reports whether all nodes are mutually reachable. The empty

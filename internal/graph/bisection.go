@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"math/rand/v2"
 
 	"physdep/internal/obs"
@@ -19,8 +20,20 @@ import (
 // worker count. Edge capacities of zero count as 1, matching MaxFlow's
 // convention.
 func (g *Graph) BisectionEstimate(restarts int, rng *rand.Rand) float64 {
+	// A background context cannot cancel and the restart fn never errors,
+	// so the error is structurally nil here.
+	cut, _ := g.BisectionEstimateCtx(context.Background(), restarts, rng)
+	return cut
+}
+
+// BisectionEstimateCtx is BisectionEstimate with cancellation: ctx is
+// checked as restarts are handed out (par contract), and a canceled run
+// returns an error matching physerr.ErrCanceled. All restart seeds are
+// drawn from rng up front either way, so rng advances identically and a
+// completed run is byte-identical to BisectionEstimate.
+func (g *Graph) BisectionEstimateCtx(ctx context.Context, restarts int, rng *rand.Rand) (float64, error) {
 	if g.N < 2 || restarts < 1 {
-		return 0
+		return 0, nil
 	}
 	defer obs.Time("graph.bisection")()
 	obs.Add("graph.bisection.restarts", int64(restarts))
@@ -28,16 +41,19 @@ func (g *Graph) BisectionEstimate(restarts int, rng *rand.Rand) float64 {
 	for r := range seeds {
 		seeds[r] = [2]uint64{rng.Uint64(), rng.Uint64()}
 	}
-	cuts, _ := par.Map(restarts, func(r int) (float64, error) {
+	cuts, err := par.MapCtx(ctx, restarts, func(r int) (float64, error) {
 		return g.refineBisection(rand.New(rand.NewPCG(seeds[r][0], seeds[r][1]))), nil
 	})
+	if err != nil {
+		return 0, err
+	}
 	best := cuts[0]
 	for _, cut := range cuts[1:] {
 		if cut < best {
 			best = cut
 		}
 	}
-	return best
+	return best, nil
 }
 
 func edgeCap(e Edge) float64 {

@@ -69,7 +69,10 @@ func (g *Graph) SpectralGap(iters int, rng *rand.Rand) float64 {
 		deflate(x, pi)
 		// y = (x + P x)/2, with P(u,v) = (#edges u–v)/deg(u).
 		if blocks > 1 && par.Workers() > 1 {
-			par.For(blocks, func(b int) error {
+			// par: discard ok — the block fn never errors and no context is
+			// threaded here (each matvec is microseconds; SpectralGap's
+			// callers bound it by iteration count, not by deadline).
+			_ = par.For(blocks, func(b int) error {
 				hi := (b + 1) * blockNodes
 				if hi > g.N {
 					hi = g.N

@@ -16,6 +16,12 @@
 //   - Reductions that need associativity (sums, mins, maxes over exact
 //     integer state) are the caller's job; ForWorker exposes a stable
 //     worker id so per-worker partials can be combined in worker order.
+//   - Cancellation (the Ctx variants) is checked at task hand-out, never
+//     inside a running task, so a loop that completes under a live
+//     context produced exactly the task executions — and therefore
+//     exactly the bytes — of the context-free path. A canceled loop
+//     reports physerr.ErrCanceled from the first index it refused to
+//     hand out, through the same lowest-index channel as task errors.
 //
 // Worker count defaults to GOMAXPROCS and is overridable — upward too,
 // for scheduling experiments — via SetWorkers or the PHYSDEP_WORKERS
@@ -24,6 +30,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"os"
@@ -33,6 +40,7 @@ import (
 	"sync/atomic"
 
 	"physdep/internal/obs"
+	"physdep/internal/physerr"
 )
 
 // EnvWorkers is the environment variable that overrides the worker count
@@ -110,11 +118,25 @@ func For(n int, fn func(i int) error) error {
 	return ForWorker(n, func(_, i int) error { return fn(i) })
 }
 
+// ForCtx is For with cancellation: ctx is checked before each index is
+// handed out, and a done context fails the loop with an error matching
+// physerr.ErrCanceled (and ctx.Err() itself). Tasks already in flight
+// run to completion — cancellation never interrupts fn mid-task, which
+// is what keeps a completed ForCtx run byte-identical to For.
+func ForCtx(ctx context.Context, n int, fn func(i int) error) error {
+	return ForWorkerCtx(ctx, n, func(_, i int) error { return fn(i) })
+}
+
 // ForWorker is For with a stable worker id in [0, Workers()) passed to
 // fn, so callers can keep per-worker reusable scratch (BFS dist buffers,
 // KSP enumeration state) without synchronization: a worker id is never
 // active on two goroutines at once.
 func ForWorker(n int, fn func(worker, i int) error) error {
+	return ForWorkerCtx(context.Background(), n, fn)
+}
+
+// ForWorkerCtx is ForWorker with hand-out cancellation (see ForCtx).
+func ForWorkerCtx(ctx context.Context, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -132,9 +154,19 @@ func ForWorker(n int, fn func(worker, i int) error) error {
 		obs.MaxGauge("par.peak_width", float64(w))
 		obs.SetGauge("par.workers", float64(Workers()))
 	}
+	// A context that can never be canceled (Background, TODO) has a nil
+	// Done channel; skipping its Err() call keeps the context-free
+	// entry points at their old per-item cost.
+	cancellable := ctx.Done() != nil
 	if w <= 1 {
 		i := 0
 		for ; i < n; i++ {
+			if cancellable {
+				if err := ctx.Err(); err != nil {
+					countTasks(collect, 0, i)
+					return physerr.Canceled(err)
+				}
+			}
 			if err := fn(0, i); err != nil {
 				countTasks(collect, 0, i+1)
 				return err
@@ -151,6 +183,17 @@ func ForWorker(n int, fn func(worker, i int) error) error {
 		wg    sync.WaitGroup
 	)
 	stop.Store(int64(n))
+	// fail records err as the loop result if i is the lowest failing
+	// index seen so far — the same error a serial left-to-right sweep
+	// would surface first.
+	fail := func(i int64, err error) {
+		mu.Lock()
+		if i < stop.Load() {
+			stop.Store(i)
+			first = err
+		}
+		mu.Unlock()
+	}
 	for wk := 0; wk < w; wk++ {
 		wg.Add(1)
 		go func(wk int) {
@@ -162,14 +205,20 @@ func ForWorker(n int, fn func(worker, i int) error) error {
 					countTasks(collect, wk, ran)
 					return
 				}
+				// Hand-out check: a done context refuses index i before any
+				// of its work runs, so every executed task is a complete
+				// task and the completed prefix is bit-for-bit the one the
+				// context-free loop would have produced.
+				if cancellable {
+					if err := ctx.Err(); err != nil {
+						fail(i, physerr.Canceled(err))
+						countTasks(collect, wk, ran)
+						return
+					}
+				}
 				ran++
 				if err := fn(wk, int(i)); err != nil {
-					mu.Lock()
-					if i < stop.Load() {
-						stop.Store(i)
-						first = err
-					}
-					mu.Unlock()
+					fail(i, err)
 				}
 			}
 		}(wk)
@@ -193,8 +242,14 @@ func countTasks(collect bool, wk, ran int) {
 // input order. On error the results are discarded and the lowest failing
 // index's error is returned.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, fn)
+}
+
+// MapCtx is Map with hand-out cancellation (see ForCtx): a done context
+// discards the partial results and returns an ErrCanceled-kinded error.
+func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := For(n, func(i int) error {
+	err := ForCtx(ctx, n, func(i int) error {
 		v, err := fn(i)
 		if err != nil {
 			return err
@@ -220,6 +275,13 @@ func Rand(seed uint64, i int) *rand.Rand {
 // ForRand is For with the per-index seeded stream handed to fn.
 func ForRand(n int, seed uint64, fn func(i int, rng *rand.Rand) error) error {
 	return For(n, func(i int) error { return fn(i, Rand(seed, i)) })
+}
+
+// ForRandCtx is ForRand with hand-out cancellation (see ForCtx). Seeds
+// are per-index, so the tasks a canceled run did complete drew exactly
+// the streams they would have drawn in a full run.
+func ForRandCtx(ctx context.Context, n int, seed uint64, fn func(i int, rng *rand.Rand) error) error {
+	return ForCtx(ctx, n, func(i int) error { return fn(i, Rand(seed, i)) })
 }
 
 // SeedAt derives the scalar seed for chain/work-item i under base seed —

@@ -20,6 +20,12 @@
 //   - ErrInfeasible — the parameters are in range but the construction
 //     or search could not be realized (a random wiring that never
 //     converged, a routing request with no path).
+//   - ErrCanceled — the caller's context was canceled or its deadline
+//     expired before the computation finished. Nothing was wrong with
+//     the input; the same call with a fresh context may succeed. Errors
+//     of this kind also match the triggering context error, so both
+//     errors.Is(err, physerr.ErrCanceled) and
+//     errors.Is(err, context.DeadlineExceeded) work.
 //
 // Internal invariant breaches — bookkeeping bugs that no user input
 // should be able to reach — keep panicking; see DESIGN.md §8 for the
@@ -37,6 +43,7 @@ var (
 	ErrCapacity        = errors.New("capacity exceeded")
 	ErrInfeasibleMedia = errors.New("no feasible media")
 	ErrInfeasible      = errors.New("construction infeasible")
+	ErrCanceled        = errors.New("run canceled")
 )
 
 // OutOfRange returns a formatted error wrapping ErrOutOfRange.
@@ -57,6 +64,19 @@ func InfeasibleMedia(format string, args ...any) error {
 // Infeasible returns a formatted error wrapping ErrInfeasible.
 func Infeasible(format string, args ...any) error {
 	return wrap(ErrInfeasible, format, args...)
+}
+
+// Canceled classifies a context error (context.Canceled or
+// context.DeadlineExceeded) as ErrCanceled while keeping the cause
+// matchable: the returned error wraps both. A nil cause — a programming
+// error, since callers classify ctx.Err() only after observing it
+// non-nil — still yields an ErrCanceled-kinded error rather than nil,
+// so a cancellation can never be silently dropped.
+func Canceled(cause error) error {
+	if cause == nil {
+		return ErrCanceled
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
 }
 
 // wrap builds "<message>: <kind>" with the kind wrapped, so the class

@@ -1,13 +1,14 @@
 package physerr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
 )
 
 func TestKindsAreDistinct(t *testing.T) {
-	kinds := []error{ErrOutOfRange, ErrCapacity, ErrInfeasibleMedia, ErrInfeasible}
+	kinds := []error{ErrOutOfRange, ErrCapacity, ErrInfeasibleMedia, ErrInfeasible, ErrCanceled}
 	for i, a := range kinds {
 		for j, b := range kinds {
 			if (i == j) != errors.Is(a, b) {
@@ -36,6 +37,30 @@ func TestHelpersWrapTheirKind(t *testing.T) {
 				t.Errorf("%v unexpectedly matches %v", c.err, other)
 			}
 		}
+	}
+}
+
+// TestCanceledKeepsBothIdentities: the classified error must satisfy
+// errors.Is for physerr.ErrCanceled (so callers branch on the repo's
+// kind) AND for the stdlib cause (so ^C and deadline stay
+// distinguishable). A nil cause still classifies.
+func TestCanceledKeepsBothIdentities(t *testing.T) {
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		err := Canceled(cause)
+		if !errors.Is(err, ErrCanceled) {
+			t.Errorf("Canceled(%v) does not match ErrCanceled", cause)
+		}
+		if !errors.Is(err, cause) {
+			t.Errorf("Canceled(%v) lost its cause", cause)
+		}
+	}
+	if !errors.Is(Canceled(nil), ErrCanceled) {
+		t.Error("Canceled(nil) must still be ErrCanceled")
+	}
+	// Rewrapping through kernel layers must not shed either identity.
+	err := fmt.Errorf("experiments: %w", fmt.Errorf("core: %w", Canceled(context.DeadlineExceeded)))
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("identities lost through rewrapping: %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"context"
 	"math/rand/v2"
 	"sort"
 
@@ -130,13 +131,26 @@ func (s *annealState) Propose(rng *rand.Rand) (float64, func(), bool) {
 // Optimize improves the placement by simulated annealing, returning the
 // cable-length before and after. The placement is modified in place.
 func Optimize(p *Placement, steps int, seed uint64) (before, after units.Meters) {
+	// A background context cannot cancel, so the error is structurally
+	// nil here.
+	before, after, _ = OptimizeCtx(context.Background(), p, steps, seed)
+	return before, after
+}
+
+// OptimizeCtx is Optimize with cancellation (checked between annealing
+// chunks; see solver.AnnealCtx). Single-chain annealing mutates p in
+// place, so a canceled run leaves p at the last accepted move — a valid,
+// typically already-improved placement — and returns an error matching
+// physerr.ErrCanceled. Callers that need all-or-nothing semantics under
+// cancellation should use OptimizeRestartsCtx, which works on clones.
+func OptimizeCtx(ctx context.Context, p *Placement, steps int, seed uint64) (before, after units.Meters, err error) {
 	defer obs.Time("placement.optimize")()
 	before = p.CableLength()
 	st := newAnnealState(p)
-	solver.Anneal(st, annealConfig(before, steps, seed))
+	_, err = solver.AnnealCtx(ctx, st, annealConfig(before, steps, seed))
 	after = p.CableLength()
 	obs.Add("placement.optimize.saved_m", int64(before-after))
-	return before, after
+	return before, after, err
 }
 
 func annealConfig(before units.Meters, steps int, seed uint64) solver.AnnealConfig {
@@ -155,8 +169,32 @@ func annealConfig(before units.Meters, steps int, seed uint64) solver.AnnealConf
 // never worse than single-chain annealing, and the outcome is identical
 // for any worker count. restarts <= 1 is exactly Optimize.
 func OptimizeRestarts(p *Placement, steps int, seed uint64, restarts int) (before, after units.Meters) {
+	// A background context cannot cancel, so the error is structurally
+	// nil here.
+	before, after, _ = OptimizeRestartsCtx(context.Background(), p, steps, seed, restarts)
+	return before, after
+}
+
+// OptimizeRestartsCtx is OptimizeRestarts with cancellation. The chains
+// run on clones, so cancellation is all-or-nothing for p: a canceled run
+// abandons the clones, leaves p exactly as it was, and returns an error
+// matching physerr.ErrCanceled (before and after both report the
+// untouched length). A run that completes is byte-identical to
+// OptimizeRestarts.
+func OptimizeRestartsCtx(ctx context.Context, p *Placement, steps int, seed uint64, restarts int) (before, after units.Meters, err error) {
 	if restarts <= 1 {
-		return Optimize(p, steps, seed)
+		// Mirror OptimizeRestarts' all-or-nothing contract even for the
+		// single-chain case: anneal a clone, adopt only on completion.
+		defer obs.Time("placement.optimize")()
+		before = p.CableLength()
+		clone := p.Clone()
+		if _, err = solver.AnnealCtx(ctx, newAnnealState(clone), annealConfig(before, steps, seed)); err != nil {
+			return before, before, err
+		}
+		p.adopt(clone)
+		after = p.CableLength()
+		obs.Add("placement.optimize.saved_m", int64(before-after))
+		return before, after, nil
 	}
 	defer obs.Time("placement.optimize")()
 	before = p.CableLength()
@@ -166,13 +204,16 @@ func OptimizeRestarts(p *Placement, steps int, seed uint64, restarts int) (befor
 		clones[c] = p.Clone()
 		states[c] = newAnnealState(clones[c])
 	}
-	best, _ := solver.AnnealRestarts(states, annealConfig(before, steps, seed),
+	best, _, err := solver.AnnealRestartsCtx(ctx, states, annealConfig(before, steps, seed),
 		func(c int) float64 { return float64(clones[c].CableLength()) })
+	if err != nil {
+		return before, before, err
+	}
 	p.adopt(clones[best])
 	after = p.CableLength()
 	obs.Add("placement.optimize.restarts", int64(restarts))
 	obs.Add("placement.optimize.saved_m", int64(before-after))
-	return before, after
+	return before, after, nil
 }
 
 // HillClimbOptimize is the zero-temperature ablation baseline.

@@ -7,9 +7,11 @@ package repair
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand/v2"
 
+	"physdep/internal/physerr"
 	"physdep/internal/units"
 )
 
@@ -146,11 +148,34 @@ func (q *eventQueue) Pop() any {
 // Simulate runs the failure/repair process for the given horizon with a
 // crew of techs technicians. Deterministic per seed.
 func Simulate(sys *System, horizon units.Hours, techs int, seed uint64) (Results, error) {
+	return SimulateCtx(context.Background(), sys, horizon, techs, seed)
+}
+
+// simulateChunkEvents is how many simulation events process between
+// context checks in SimulateCtx — cheap enough to vanish into the heap
+// work, frequent enough that a deadline stops a runaway horizon fast.
+const simulateChunkEvents = 4096
+
+// SimulateCtx is Simulate with cancellation, checked every
+// simulateChunkEvents events of the discrete-event loop. A canceled run
+// discards its partial tallies (they would be statistically meaningless
+// truncated mid-horizon) and returns an error matching
+// physerr.ErrCanceled; a completed run is byte-identical to Simulate.
+func SimulateCtx(ctx context.Context, sys *System, horizon units.Hours, techs int, seed uint64) (Results, error) {
 	if techs < 1 {
 		return Results{}, fmt.Errorf("repair: need at least one technician")
 	}
 	if horizon <= 0 {
 		return Results{}, fmt.Errorf("repair: horizon must be positive")
+	}
+	// Entry checkpoint: the loop below only polls between events, so a
+	// run whose queue comes up empty (no failure lands inside the
+	// horizon) would otherwise sail past an already-canceled context.
+	cancellable := ctx.Done() != nil
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			return Results{}, physerr.Canceled(err)
+		}
 	}
 	rng := rand.New(rand.NewPCG(seed, seed^0x4e4a1))
 	q := &eventQueue{}
@@ -172,7 +197,12 @@ func Simulate(sys *System, horizon units.Hours, techs int, seed uint64) (Results
 	failedAt := make(map[int]float64)  // comp -> failure time
 	var mttrSum, waitSum float64
 	down := 0
-	for q.Len() > 0 {
+	for processed := 1; q.Len() > 0; processed++ {
+		if cancellable && processed%simulateChunkEvents == 0 {
+			if err := ctx.Err(); err != nil {
+				return Results{}, physerr.Canceled(err)
+			}
+		}
 		ev := heap.Pop(q).(event)
 		switch ev.kind {
 		case 0: // failure
@@ -243,12 +273,21 @@ func Simulate(sys *System, horizon units.Hours, techs int, seed uint64) (Results
 
 // SimulateMany averages runs across seeds for tighter estimates.
 func SimulateMany(sys *System, horizon units.Hours, techs, runs int, seed uint64) (Results, error) {
+	return SimulateManyCtx(context.Background(), sys, horizon, techs, runs, seed)
+}
+
+// SimulateManyCtx is SimulateMany with cancellation: each run checks ctx
+// at its event chunks (SimulateCtx), so a sweep of many seeds stops
+// within one chunk of one run. The per-run seeds are derived, not
+// sequential draws, so the runs a canceled sweep did complete are the
+// same runs a full sweep would have produced.
+func SimulateManyCtx(ctx context.Context, sys *System, horizon units.Hours, techs, runs int, seed uint64) (Results, error) {
 	if runs < 1 {
 		return Results{}, fmt.Errorf("repair: runs must be >= 1")
 	}
 	var agg Results
 	for r := 0; r < runs; r++ {
-		res, err := Simulate(sys, horizon, techs, seed+uint64(r)*0x9e3779b97f4a7c15)
+		res, err := SimulateCtx(ctx, sys, horizon, techs, seed+uint64(r)*0x9e3779b97f4a7c15)
 		if err != nil {
 			return Results{}, err
 		}

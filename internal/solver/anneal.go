@@ -9,12 +9,14 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand/v2"
 
 	"physdep/internal/obs"
 	"physdep/internal/par"
+	"physdep/internal/physerr"
 )
 
 // Annealable is a mutable optimization state that can propose local moves.
@@ -54,17 +56,46 @@ type AnnealResult struct {
 // final (not necessarily best-seen) configuration, which for monotone
 // final temperatures near zero is effectively the best found.
 func Anneal(a Annealable, cfg AnnealConfig) AnnealResult {
+	// A background context cannot cancel, so the error is structurally
+	// nil here.
+	res, _ := AnnealCtx(context.Background(), a, cfg)
+	return res
+}
+
+// annealChunkSteps is how many annealing steps run between context
+// checks in AnnealCtx: coarse enough that the check cost vanishes into
+// the proposal cost, fine enough that a deadline stops a chain within
+// milliseconds on the placement problems in this repo.
+const annealChunkSteps = 1024
+
+// AnnealCtx is Anneal with cancellation, checked between cooling chunks
+// of annealChunkSteps proposals. A check never touches the rng or the
+// state, so a schedule that runs to completion is byte-identical to
+// Anneal; a canceled one returns the proposals-so-far tally alongside an
+// error matching physerr.ErrCanceled, with the state left at the last
+// applied move (still a valid configuration — annealing states are valid
+// after every move, which is what makes stopping mid-schedule safe).
+func AnnealCtx(ctx context.Context, a Annealable, cfg AnnealConfig) (AnnealResult, error) {
 	rng := rand.New(rand.NewPCG(cfg.Seed, cfg.Seed^0xa11ea1))
 	var res AnnealResult
 	if cfg.Steps <= 0 {
-		return res
+		return res, nil
 	}
 	t := cfg.T0
 	cool := 1.0
 	if cfg.Steps > 1 && cfg.T0 > 0 && cfg.T1 > 0 {
 		cool = math.Pow(cfg.T1/cfg.T0, 1/float64(cfg.Steps-1))
 	}
-	for i := 0; i < cfg.Steps; i++ {
+	cancellable := ctx.Done() != nil
+	var err error
+	steps := 0
+	for ; steps < cfg.Steps; steps++ {
+		if cancellable && steps%annealChunkSteps == 0 {
+			if cerr := ctx.Err(); cerr != nil {
+				err = physerr.Canceled(cerr)
+				break
+			}
+		}
 		delta, apply, ok := a.Propose(rng)
 		if ok {
 			if delta <= 0 || rng.Float64() < math.Exp(-delta/t) {
@@ -78,10 +109,10 @@ func Anneal(a Annealable, cfg AnnealConfig) AnnealResult {
 		t *= cool
 	}
 	res.FinalTemp = t
-	obs.Add("solver.anneal.steps", int64(cfg.Steps))
+	obs.Add("solver.anneal.steps", int64(steps))
 	obs.Add("solver.anneal.accepted", int64(res.Accepted))
 	obs.Add("solver.anneal.rejected", int64(res.Rejected))
-	return res
+	return res, err
 }
 
 // ChainSeed is the seed annealing chain c runs under for base seed s:
@@ -101,17 +132,34 @@ func ChainSeed(s uint64, c int) uint64 {
 // up front, so the winner is identical for any worker count. objective is
 // called after all chains finish, once per chain, in chain order.
 func AnnealRestarts(states []Annealable, cfg AnnealConfig, objective func(chain int) float64) (best int, chains []AnnealResult) {
+	// A background context cannot cancel and chain fns have no other
+	// failure mode, so the error is structurally nil here.
+	best, chains, _ = AnnealRestartsCtx(context.Background(), states, cfg, objective)
+	return best, chains
+}
+
+// AnnealRestartsCtx is AnnealRestarts with cancellation: ctx gates chain
+// hand-out (par contract) and the cooling chunks inside each running
+// chain. On cancellation the chain states are abandoned mid-schedule,
+// objective is never called, and best is -1 alongside an error matching
+// physerr.ErrCanceled. A run that completes is byte-identical to
+// AnnealRestarts.
+func AnnealRestartsCtx(ctx context.Context, states []Annealable, cfg AnnealConfig, objective func(chain int) float64) (best int, chains []AnnealResult, err error) {
 	chains = make([]AnnealResult, len(states))
 	if len(states) == 0 {
-		return 0, chains
+		return 0, chains, nil
 	}
 	defer obs.Time("solver.restarts")()
-	par.For(len(states), func(c int) error {
+	err = par.ForCtx(ctx, len(states), func(c int) error {
 		ccfg := cfg
 		ccfg.Seed = ChainSeed(cfg.Seed, c)
-		chains[c] = Anneal(states[c], ccfg)
-		return nil
+		var cerr error
+		chains[c], cerr = AnnealCtx(ctx, states[c], ccfg)
+		return cerr
 	})
+	if err != nil {
+		return -1, chains, err
+	}
 	if obs.Enabled() {
 		// Per-chain accept/reject breakdown, aggregated by chain index
 		// across calls; chain totals are order-independent counters, so the
@@ -129,11 +177,19 @@ func AnnealRestarts(states []Annealable, cfg AnnealConfig, objective func(chain 
 			best, bestObj = c, obj
 		}
 	}
-	return best, chains
+	return best, chains, nil
 }
 
-// HillClimb is Anneal at zero temperature: only improving moves are
-// applied. Used as the ablation baseline against full annealing.
+// HillClimb is Anneal at zero temperature: non-worsening moves are
+// applied, worsening ones never are. Used as the ablation baseline
+// against full annealing.
+//
+// delta == 0 moves are accepted, matching Anneal's acceptance rule
+// (delta <= 0 applies unconditionally at any temperature): zero-delta
+// plateau steps are how a climber escapes ties, and rejecting them here
+// while Anneal accepted them made "Anneal at zero temperature" a lie at
+// exactly one point of the delta axis. TestZeroDeltaMoveParity pins the
+// shared semantics.
 func HillClimb(a Annealable, steps int, seed uint64) AnnealResult {
 	rng := rand.New(rand.NewPCG(seed, seed^0xc1a55))
 	var res AnnealResult
@@ -142,7 +198,7 @@ func HillClimb(a Annealable, steps int, seed uint64) AnnealResult {
 		if !ok {
 			continue
 		}
-		if delta < 0 {
+		if delta <= 0 {
 			apply()
 			res.Accepted++
 			res.DeltaSum += delta

@@ -71,6 +71,51 @@ func TestHillClimbOnlyImproves(t *testing.T) {
 	}
 }
 
+// cycleState proposes a fixed cycle of deltas regardless of the rng, and
+// records each applied delta — a probe for acceptance-rule semantics.
+type cycleState struct {
+	deltas  []float64
+	i       int
+	applied []float64
+}
+
+func (c *cycleState) Propose(rng *rand.Rand) (float64, func(), bool) {
+	d := c.deltas[c.i%len(c.deltas)]
+	c.i++
+	return d, func() { c.applied = append(c.applied, d) }, true
+}
+
+// TestZeroDeltaMoveParity pins the shared acceptance semantics of
+// HillClimb and Anneal on the delta axis: both accept delta <= 0
+// unconditionally (zero-delta plateau moves included) and, at
+// effectively zero temperature, both reject any worsening move. HillClimb
+// used to reject delta == 0 while Anneal accepted it, so "Anneal at zero
+// temperature" silently disagreed with the climber on plateaus.
+func TestZeroDeltaMoveParity(t *testing.T) {
+	deltas := []float64{0, 1, -1, 0, 2, -0.5, 0}
+	hc := &cycleState{deltas: deltas}
+	an := &cycleState{deltas: deltas}
+	steps := len(deltas)
+	HillClimb(hc, steps, 99)
+	// T so small that exp(-delta/T) underflows to 0 for every positive
+	// delta: the Metropolis roll can never accept a worsening move.
+	Anneal(an, AnnealConfig{Steps: steps, T0: 1e-300, T1: 1e-300, Seed: 99})
+	want := []float64{0, -1, 0, -0.5, 0}
+	check := func(name string, got []float64) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s applied %v, want %v", name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s applied %v, want %v", name, got, want)
+			}
+		}
+	}
+	check("HillClimb", hc.applied)
+	check("Anneal", an.applied)
+}
+
 func TestAssignIdentity(t *testing.T) {
 	cost := [][]float64{
 		{0, 5, 5},

@@ -11,6 +11,7 @@
 package topology
 
 import (
+	"context"
 	"fmt"
 
 	"physdep/internal/graph"
@@ -162,12 +163,25 @@ type Stats struct {
 // BasicStats computes switch/link/server counts and ToR path statistics.
 // Bisection and expansion are left to callers because they need a PRNG.
 func (t *Topology) BasicStats() Stats {
-	ps := t.AllPairsStats(t.ToRs())
+	// A background context cannot cancel the all-pairs sweep, so the
+	// error is structurally nil here.
+	st, _ := t.BasicStatsCtx(context.Background())
+	return st
+}
+
+// BasicStatsCtx is BasicStats with cancellation threaded into the
+// all-pairs ToR sweep, the only long-running part. A canceled call
+// returns an error matching physerr.ErrCanceled.
+func (t *Topology) BasicStatsCtx(ctx context.Context) (Stats, error) {
+	ps, err := t.AllPairsStatsCtx(ctx, t.ToRs())
+	if err != nil {
+		return Stats{}, err
+	}
 	return Stats{
 		Switches: t.NumSwitches(),
 		Links:    t.NumEdges(),
 		Servers:  t.Servers(),
 		ToRDiam:  ps.Diameter,
 		ToRMean:  ps.MeanHops,
-	}
+	}, nil
 }

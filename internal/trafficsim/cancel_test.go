@@ -1,0 +1,48 @@
+package trafficsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"physdep/internal/physerr"
+	"physdep/internal/topology"
+)
+
+func TestKSPThroughputCtxPreCanceled(t *testing.T) {
+	ft, err := topology.FatTree(topology.FatTreeConfig{K: 4, Rate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := Uniform(len(ft.ToRs()), 100)
+	_, err = KSPThroughputCtx(ctx, ft, m, DefaultKSP())
+	if !errors.Is(err, physerr.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+// TestKSPThroughputCtxLiveUncanceledMatches: the §6 contract under a
+// live cancellable context — alpha must be bit-identical to the
+// context-free solve.
+func TestKSPThroughputCtxLiveUncanceledMatches(t *testing.T) {
+	ft, err := topology.FatTree(topology.FatTreeConfig{K: 4, Rate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Uniform(len(ft.ToRs()), 100)
+	want, err := KSPThroughput(ft, m, DefaultKSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := KSPThroughputCtx(ctx, ft, m, DefaultKSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("cancellable alpha %v != context-free %v", got, want)
+	}
+}

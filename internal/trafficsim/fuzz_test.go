@@ -20,7 +20,7 @@ func FuzzKSPConfig(f *testing.F) {
 	// used to be unbounded.
 	f.Add(0, 0, 0)
 	f.Add(8, -1, -3)
-	f.Add(1 << 30, 1, 8)
+	f.Add(1<<30, 1, 8)
 	f.Add(2, 1<<30, 8)
 	f.Fuzz(func(t *testing.T, k, slack, chunks int) {
 		topo, err := topology.LeafSpine(topology.LeafSpineConfig{

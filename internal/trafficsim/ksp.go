@@ -1,6 +1,7 @@
 package trafficsim
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -155,6 +156,15 @@ func kShortestNodePaths(g *graph.Graph, nbrs [][]int, src, dst int, distTo []int
 // strictly sequential commit phase in the serial pair order, so the
 // returned α is byte-identical for any worker count.
 func KSPThroughput(t *topology.Topology, m Matrix, cfg KSPConfig) (float64, error) {
+	return KSPThroughputCtx(context.Background(), t, m, cfg)
+}
+
+// KSPThroughputCtx is KSPThroughput with cancellation: ctx is checked as
+// enumeration tasks are handed out (par contract) and between
+// water-filling chunks, so a canceled solve stops within one destination
+// BFS or one chunk and returns an error matching physerr.ErrCanceled. A
+// solve that completes is byte-identical to KSPThroughput.
+func KSPThroughputCtx(ctx context.Context, t *topology.Topology, m Matrix, cfg KSPConfig) (float64, error) {
 	tors := t.ToRs()
 	if len(tors) != m.N {
 		return 0, fmt.Errorf("trafficsim: matrix is %d×%d but topology has %d ToRs", m.N, m.N, len(tors))
@@ -178,9 +188,13 @@ func KSPThroughput(t *topology.Topology, m Matrix, cfg KSPConfig) (float64, erro
 	// The DFS expands nodes far more often than there are nodes, so the
 	// sorted-neighbor view is computed once up front (itself in parallel)
 	// instead of per expansion — the dominant alloc source otherwise.
-	nbrs, _ := par.Map(t.N, func(u int) ([]int, error) { return t.Neighbors(u), nil })
+	nbrs, err := par.MapCtx(ctx, t.N, func(u int) ([]int, error) { return t.Neighbors(u), nil })
+	if err != nil {
+		stopEnum()
+		return 0, err
+	}
 	scratch := make([]*kspScratch, par.Workers())
-	err := par.ForWorker(len(tors), func(wk, j int) error {
+	err = par.ForWorkerCtx(ctx, len(tors), func(wk, j int) error {
 		sc := scratch[wk]
 		if sc == nil {
 			sc = newKSPScratch(t.N)
@@ -252,7 +266,16 @@ func KSPThroughput(t *topology.Topology, m Matrix, cfg KSPConfig) (float64, erro
 		obs.Add("trafficsim.ksp.paths", int64(paths))
 	}
 	load := make([]float64, 2*len(t.Edges))
+	cancellable := ctx.Done() != nil
 	for c := 0; c < cfg.Chunks; c++ {
+		// One chunk sweeps every pair once; checking between chunks keeps
+		// the check count independent of pair count, and a completed fill
+		// identical to the context-free path.
+		if cancellable {
+			if err := ctx.Err(); err != nil {
+				return 0, physerr.Canceled(err)
+			}
+		}
 		for _, pp := range pairs {
 			f := pp.demand / float64(cfg.Chunks)
 			best, bestCost := -1, 0.0

@@ -11,6 +11,11 @@
 # smoke step below additionally proves the CLI plumbing end to end —
 # a -manifest/-trace run must produce a non-empty manifest with spans.
 #
+# Cancellation: the parcheck stage rejects silently dropped par errors
+# (scripts/parcheck), and the stress stage interrupts a real run with a
+# random deadline under -race, asserting the DESIGN.md §9 contract —
+# nonzero exit, classified diagnostic, interrupted-but-intact manifest.
+#
 # Fuzz smoke: each library-boundary fuzz target runs briefly past its
 # committed seed corpus. Go allows one -fuzz pattern per invocation, so
 # the targets run one at a time. FUZZTIME=0 skips the live fuzzing (the
@@ -23,6 +28,9 @@ FUZZTIME="${FUZZTIME:-10s}"
 
 echo "== go vet"
 go vet ./...
+
+echo "== parcheck (no silently dropped par errors)"
+go run ./scripts/parcheck ./internal ./cmd ./examples
 
 echo "== go build"
 go build ./...
@@ -37,6 +45,22 @@ go run ./cmd/experiments -run E2 -manifest "$tmp/manifest.json" -trace \
   >/dev/null 2>"$tmp/trace.txt"
 grep -q '"experiment:E2"' "$tmp/manifest.json"
 grep -q 'counters:' "$tmp/trace.txt"
+
+echo "== cancellation stress (-race, random deadline)"
+# A deadline in [1, 100] ms lands mid-kernel somewhere different every
+# run: the binary must exit nonzero with the classified diagnostic and
+# still flush a manifest marked interrupted. Run under -race so a
+# cancellation path that touches shared state without synchronization
+# fails here, not in production.
+deadline="$(( (RANDOM % 100) + 1 ))ms"
+echo "-- deadline $deadline"
+if go run -race ./cmd/experiments -run E1 -timeout "$deadline" \
+  -manifest "$tmp/cancel-manifest.json" >/dev/null 2>"$tmp/cancel.err"; then
+  echo "cancellation stress: expected nonzero exit under a ${deadline} deadline" >&2
+  exit 1
+fi
+grep -q 'run canceled' "$tmp/cancel.err"
+grep -q '"interrupted": true' "$tmp/cancel-manifest.json"
 
 if [ "$FUZZTIME" != "0" ]; then
   echo "== fuzz smoke (${FUZZTIME} per target)"
