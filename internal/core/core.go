@@ -202,7 +202,10 @@ func EvaluateCtx(ctx context.Context, in Input) (*Report, error) {
 	rep.Cabling = plan.Summarize()
 	rep.Bundleability = plan.BundleabilityScore(4)
 	rep.CableCapex = rep.Cabling.MaterialCost
-	capex := in.Model.NetworkCapex(in.Topo, plan, 0, 0)
+	capex, err := in.Model.NetworkCapex(in.Topo, plan, 0, 0)
+	if err != nil {
+		return nil, err
+	}
 	rep.SwitchCapex = capex.Switches
 	rep.TotalCapex = capex.Total
 	rep.TimeToDeploy = sched.Makespan.Hours()

@@ -8,6 +8,7 @@ package costmodel
 
 import (
 	"physdep/internal/cabling"
+	"physdep/internal/physerr"
 	"physdep/internal/topology"
 	"physdep/internal/units"
 )
@@ -108,12 +109,24 @@ func (m *Model) RobotCrew() *Model {
 }
 
 // SwitchCapex prices one switch: base plus per-port scaled by line rate.
-func (m *Model) SwitchCapex(n topology.Node) units.USD {
-	rateFactor := float64(n.Rate) / float64(m.PortRateBase)
-	if rateFactor <= 0 {
-		rateFactor = 1
+// A zero-rate node prices its ports at zero — dark ports buy no optics —
+// rather than silently billing them at PortRateBase, which is what the
+// old clamp did. Negative rates and radixes are malformed input per the
+// DESIGN.md §8 contract and return an error wrapping
+// physerr.ErrOutOfRange, as does a model whose PortRateBase is not
+// positive (the per-port scale would be meaningless).
+func (m *Model) SwitchCapex(n topology.Node) (units.USD, error) {
+	if m.PortRateBase <= 0 {
+		return 0, physerr.OutOfRange("costmodel: PortRateBase must be positive, got %v", m.PortRateBase)
 	}
-	return m.SwitchBase + units.USD(float64(m.SwitchPerPort)*float64(n.Radix)*rateFactor)
+	if n.Rate < 0 {
+		return 0, physerr.OutOfRange("costmodel: switch %d has negative rate %v", n.ID, n.Rate)
+	}
+	if n.Radix < 0 {
+		return 0, physerr.OutOfRange("costmodel: switch %d has negative radix %d", n.ID, n.Radix)
+	}
+	rateFactor := float64(n.Rate) / float64(m.PortRateBase)
+	return m.SwitchBase + units.USD(float64(m.SwitchPerPort)*float64(n.Radix)*rateFactor), nil
 }
 
 // LaborCost converts technician minutes to dollars.
@@ -139,15 +152,20 @@ type Capex struct {
 
 // NetworkCapex itemizes capex for a placed-and-planned network. panels
 // and ocses count indirection devices by unit (each PanelPorts ports).
-func (m *Model) NetworkCapex(t *topology.Topology, plan *cabling.Plan, panels, ocses int) Capex {
+// An invalid node (see SwitchCapex) fails the whole bill.
+func (m *Model) NetworkCapex(t *topology.Topology, plan *cabling.Plan, panels, ocses int) (Capex, error) {
 	var c Capex
 	for _, n := range t.Nodes {
-		c.Switches += m.SwitchCapex(n)
+		sw, err := m.SwitchCapex(n)
+		if err != nil {
+			return Capex{}, err
+		}
+		c.Switches += sw
 	}
 	c.Cabling = plan.Summarize().MaterialCost
 	c.Panels = units.USD(float64(panels))*m.PanelCost + units.USD(float64(ocses))*m.OCSCost
 	c.Total = c.Switches + c.Cabling + c.Panels
-	return c
+	return c, nil
 }
 
 // PanelsFor returns how many indirection devices of PanelPorts ports are

@@ -1,20 +1,32 @@
 package costmodel
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"physdep/internal/cabling"
 	"physdep/internal/floorplan"
+	"physdep/internal/physerr"
 	"physdep/internal/topology"
 	"physdep/internal/units"
 )
 
+// mustCapex is a test helper for nodes already known valid.
+func mustCapex(t *testing.T, m *Model, n topology.Node) units.USD {
+	t.Helper()
+	usd, err := m.SwitchCapex(n)
+	if err != nil {
+		t.Fatalf("SwitchCapex(%+v): %v", n, err)
+	}
+	return usd
+}
+
 func TestSwitchCapexScalesWithRateAndRadix(t *testing.T) {
 	m := Default()
-	small := m.SwitchCapex(topology.Node{Radix: 32, Rate: 100})
-	big := m.SwitchCapex(topology.Node{Radix: 64, Rate: 100})
-	fast := m.SwitchCapex(topology.Node{Radix: 32, Rate: 400})
+	small := mustCapex(t, m, topology.Node{Radix: 32, Rate: 100})
+	big := mustCapex(t, m, topology.Node{Radix: 64, Rate: 100})
+	fast := mustCapex(t, m, topology.Node{Radix: 32, Rate: 400})
 	if big <= small {
 		t.Errorf("64-port (%v) not pricier than 32-port (%v)", big, small)
 	}
@@ -28,12 +40,50 @@ func TestSwitchCapexScalesWithRateAndRadix(t *testing.T) {
 	}
 }
 
+// TestSwitchCapexZeroRate pins the fixed pricing of dark ports: a
+// zero-rate node costs its chassis base and nothing per port. The old
+// clamp priced those ports as if they ran at PortRateBase, silently
+// inflating the bill for any zero/negative-rate node that slipped in.
 func TestSwitchCapexZeroRate(t *testing.T) {
 	m := Default()
-	got := m.SwitchCapex(topology.Node{Radix: 8, Rate: 0})
-	want := m.SwitchBase + units.USD(float64(m.SwitchPerPort)*8)
-	if got != want {
-		t.Errorf("zero-rate capex = %v, want rate-factor 1 → %v", got, want)
+	got := mustCapex(t, m, topology.Node{Radix: 8, Rate: 0})
+	if got != m.SwitchBase {
+		t.Errorf("zero-rate capex = %v, want base only (%v): dark ports must not be billed at base rate", got, m.SwitchBase)
+	}
+}
+
+// TestSwitchCapexRejectsInvalid drives the DESIGN.md §8 contract:
+// malformed nodes (negative rate or radix) and a malformed model
+// (non-positive PortRateBase) come back as physerr.ErrOutOfRange, never
+// as a silently re-priced bill.
+func TestSwitchCapexRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Model
+		n    topology.Node
+	}{
+		{"negative rate", Default(), topology.Node{Radix: 32, Rate: -100}},
+		{"negative radix", Default(), topology.Node{Radix: -1, Rate: 100}},
+		{"zero PortRateBase", func() *Model { m := Default(); m.PortRateBase = 0; return m }(), topology.Node{Radix: 32, Rate: 100}},
+		{"negative PortRateBase", func() *Model { m := Default(); m.PortRateBase = -100; return m }(), topology.Node{Radix: 32, Rate: 100}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			usd, err := tc.m.SwitchCapex(tc.n)
+			if err == nil {
+				t.Fatalf("SwitchCapex(%+v) = %v, want error", tc.n, usd)
+			}
+			if !errors.Is(err, physerr.ErrOutOfRange) {
+				t.Errorf("error %v does not wrap physerr.ErrOutOfRange", err)
+			}
+		})
+	}
+	// NetworkCapex propagates the same error for a poisoned node list.
+	m := Default()
+	bad := topology.NewTopology("bad")
+	bad.AddSwitch(topology.Node{Radix: 32, Rate: -1})
+	if _, err := m.NetworkCapex(bad, &cabling.Plan{}, 0, 0); !errors.Is(err, physerr.ErrOutOfRange) {
+		t.Errorf("NetworkCapex on negative-rate node: err = %v, want ErrOutOfRange", err)
 	}
 }
 
@@ -95,7 +145,10 @@ func TestNetworkCapex(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := m.NetworkCapex(ft, plan, 2, 1)
+	c, err := m.NetworkCapex(ft, plan, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Switches <= 0 || c.Cabling <= 0 {
 		t.Errorf("capex components missing: %+v", c)
 	}
@@ -107,7 +160,7 @@ func TestNetworkCapex(t *testing.T) {
 		t.Errorf("total %v != sum of parts", c.Total)
 	}
 	// 20 switches at k=4, uniform: 20 × SwitchCapex.
-	per := m.SwitchCapex(ft.Nodes[0])
+	per := mustCapex(t, m, ft.Nodes[0])
 	if math.Abs(float64(c.Switches-units.USD(20*float64(per)))) > 1e-6 {
 		t.Errorf("switch capex = %v, want 20 × %v", c.Switches, per)
 	}

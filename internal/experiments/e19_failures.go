@@ -77,7 +77,11 @@ func E20DayOneVsLifetime(ctx context.Context) (*Result, error) {
 	tr := g.Trajectory(48)
 	blocksAt := func(month int) int { return int(tr[month] + 0.5) }
 	const uplinks, panelPorts = 32, 64
-	blockCapex := float64(m.SwitchCapex(topology.Node{Radix: 128, Rate: 100})) * 8 // 8 switches/block
+	blockSwitch, err := m.SwitchCapex(topology.Node{Radix: 128, Rate: 100})
+	if err != nil {
+		return nil, err
+	}
+	blockCapex := float64(blockSwitch) * 8 // 8 switches/block
 
 	type strategy struct {
 		name string

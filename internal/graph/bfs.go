@@ -27,6 +27,23 @@ func (g *Graph) BFSInto(src int, dist, queue []int) []int {
 	}
 	dist[src] = 0
 	queue = append(queue[:0], src)
+	// A frozen graph walks the packed CSR rows — same slot order as adj,
+	// so the frontier (and therefore every distance) is bit-identical to
+	// the pointer-chasing walk below.
+	if s := g.snap.Load(); s != nil {
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			d := dist[u] + 1
+			for _, w32 := range s.nbr[s.off[u]:s.off[u+1]] {
+				w := int(w32)
+				if dist[w] == -1 {
+					dist[w] = d
+					queue = append(queue, w)
+				}
+			}
+		}
+		return queue
+	}
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		for _, id := range g.adj[u] {
@@ -42,10 +59,13 @@ func (g *Graph) BFSInto(src int, dist, queue []int) []int {
 
 // PathStats summarizes hop-count structure over a node set.
 type PathStats struct {
-	Diameter    int     // max finite pairwise distance
-	MeanHops    float64 // mean over all ordered reachable pairs (u != v)
-	Reachable   int     // number of ordered reachable pairs
-	Unreachable int     // number of ordered unreachable pairs
+	Diameter int // max finite pairwise distance
+	// MeanHops is the mean distance over all ordered reachable pairs
+	// (u != v). When no pair is reachable (Reachable == 0 — e.g. an
+	// edgeless node set) it is a documented 0, never NaN.
+	MeanHops    float64
+	Reachable   int // number of ordered reachable pairs
+	Unreachable int // number of ordered unreachable pairs
 }
 
 // parallelSourcesMin is the node-set size below which the all-pairs sweep
@@ -75,6 +95,9 @@ func (g *Graph) AllPairsStats(nodes []int) PathStats {
 // A sweep that completes is byte-identical to AllPairsStats.
 func (g *Graph) AllPairsStatsCtx(ctx context.Context, nodes []int) (PathStats, error) {
 	defer obs.Time("graph.allpairs")()
+	// Freeze once before the fan-out: every per-source BFS then iterates
+	// the packed rows, and the workers share one immutable snapshot.
+	g.Freeze()
 	if nodes == nil {
 		nodes = make([]int, g.N)
 		for i := range nodes {

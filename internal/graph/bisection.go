@@ -37,12 +37,16 @@ func (g *Graph) BisectionEstimateCtx(ctx context.Context, restarts int, rng *ran
 	}
 	defer obs.Time("graph.bisection")()
 	obs.Add("graph.bisection.restarts", int64(restarts))
+	// One frozen CSR view serves every restart; the packed rows keep the
+	// exact adj slot order, so each restart's refinement (and float
+	// accumulation order) matches the unfrozen kernel bit for bit.
+	snap := g.Freeze()
 	seeds := make([][2]uint64, restarts)
 	for r := range seeds {
 		seeds[r] = [2]uint64{rng.Uint64(), rng.Uint64()}
 	}
 	cuts, err := par.MapCtx(ctx, restarts, func(r int) (float64, error) {
-		return g.refineBisection(rand.New(rand.NewPCG(seeds[r][0], seeds[r][1]))), nil
+		return g.refineBisection(snap, rand.New(rand.NewPCG(seeds[r][0], seeds[r][1]))), nil
 	})
 	if err != nil {
 		return 0, err
@@ -65,8 +69,9 @@ func edgeCap(e Edge) float64 {
 
 // refineBisection starts from a random balanced partition and greedily
 // swaps node pairs across the cut while any swap reduces crossing
-// capacity.
-func (g *Graph) refineBisection(rng *rand.Rand) float64 {
+// capacity. The inner gain/capacity scans iterate snap's packed rows —
+// the hot loops of the whole estimate.
+func (g *Graph) refineBisection(snap *Snapshot, rng *rand.Rand) float64 {
 	side := make([]bool, g.N) // false = A, true = B
 	perm := rng.Perm(g.N)
 	for i, u := range perm {
@@ -77,34 +82,46 @@ func (g *Graph) refineBisection(rng *rand.Rand) float64 {
 	// but we only do balanced pair swaps.
 	gain := func(u int) float64 {
 		gval := 0.0
-		for _, id := range g.adj[u] {
-			e := g.Edges[id]
-			w := e.Other(u)
+		lo, hi := snap.off[u], snap.off[u+1]
+		for i := lo; i < hi; i++ {
+			w := int(snap.nbr[i])
 			if w == u {
 				continue
 			}
+			c := snap.caps[i]
+			if c == 0 {
+				c = 1 // MaxFlow's zero-cap convention, as edgeCap
+			}
 			if side[w] != side[u] {
-				gval += edgeCap(e)
+				gval += c
 			} else {
-				gval -= edgeCap(e)
+				gval -= c
 			}
 		}
 		return gval
 	}
 	capBetween := func(u, v int) float64 {
 		c := 0.0
-		for _, id := range g.adj[u] {
-			if g.Edges[id].Other(u) == v {
-				c += edgeCap(g.Edges[id])
+		lo, hi := snap.off[u], snap.off[u+1]
+		for i := lo; i < hi; i++ {
+			if int(snap.nbr[i]) == v {
+				cc := snap.caps[i]
+				if cc == 0 {
+					cc = 1
+				}
+				c += cc
 			}
 		}
 		return c
 	}
 	improved := true
+	// Candidate lists, rebuilt (into reused buffers) and shuffled each
+	// pass for tie-breaking diversity.
+	as := make([]int, 0, g.N)
+	bs := make([]int, 0, g.N)
 	for pass := 0; improved && pass < 20; pass++ {
 		improved = false
-		// Candidate lists, shuffled each pass for tie-breaking diversity.
-		var as, bs []int
+		as, bs = as[:0], bs[:0]
 		for u := 0; u < g.N; u++ {
 			if side[u] {
 				bs = append(bs, u)

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// Snapshot is an immutable compressed-sparse-row (CSR) view of a graph's
+// adjacency: the per-node edge-ID lists of Graph.adj packed into flat
+// arrays behind one offsets index, with the opposite endpoint and the raw
+// capacity resolved per slot. The read-only kernels (BFS sweeps, bisection
+// refinement, the spectral matvec, KSP enumeration) iterate this form —
+// one contiguous walk instead of a pointer chase per node — and because
+// every packed row preserves adj's slot order exactly (self-loops still
+// appear twice), a kernel run over the snapshot is byte-identical to the
+// same run over the live adjacency.
+//
+// A Snapshot is never mutated after Freeze builds it, so any number of
+// goroutines may read it concurrently.
+type Snapshot struct {
+	n int
+	// Raw incidence: node u's slots are off[u]..off[u+1]. edge holds the
+	// edge ID per slot, nbr the endpoint opposite u (== u for self-loops),
+	// and caps the raw Edge.Cap (zero kept as zero; kernels that follow
+	// the "zero caps count as 1" convention apply it themselves).
+	off  []int32
+	edge []int32
+	nbr  []int32
+	caps []float64
+	// Distinct neighbors, ascending, self excluded — exactly the slice
+	// Graph.Neighbors(u) returns, shared so per-caller neighbor tables
+	// (KSP enumeration) need not be rebuilt and re-sorted per call.
+	nbrOff  []int32
+	nbrList []int32
+}
+
+// NumNodes returns the node count the snapshot was frozen at.
+func (s *Snapshot) NumNodes() int { return s.n }
+
+// Neighbors returns the distinct neighbor nodes of u in ascending order,
+// excluding u itself — the packed equivalent of Graph.Neighbors. The
+// returned slice aliases the snapshot and must not be modified.
+func (s *Snapshot) Neighbors(u int) []int32 {
+	return s.nbrList[s.nbrOff[u]:s.nbrOff[u+1]]
+}
+
+// Degree returns the degree of node u (self-loops count twice), matching
+// Graph.Degree at freeze time.
+func (s *Snapshot) Degree(u int) int { return int(s.off[u+1] - s.off[u]) }
+
+// Freeze returns the graph's CSR snapshot, building and caching it on
+// first use. Freeze is idempotent and safe to call from multiple
+// goroutines (concurrent builds produce identical snapshots; one wins).
+// Any mutation — AddNode, AddEdge, RemoveEdge — invalidates the cached
+// snapshot, and the next Freeze rebuilds it from the live adjacency;
+// mutating the graph while a kernel is iterating a snapshot it already
+// loaded is the caller's race, exactly as it was for the live adjacency.
+//
+// The read-only kernels (AllPairsStats, BisectionEstimate, SpectralGap,
+// trafficsim's KSP) freeze on entry, so callers never need to call Freeze
+// explicitly — it exists for code that wants to pay the build outside a
+// timed or latency-sensitive region.
+func (g *Graph) Freeze() *Snapshot {
+	if s := g.snap.Load(); s != nil {
+		return s
+	}
+	s := g.buildSnapshot()
+	g.snap.Store(s)
+	return s
+}
+
+// Frozen reports whether a current snapshot is cached (mutation clears
+// it). Exposed for the invalidation regression tests.
+func (g *Graph) Frozen() bool { return g.snap.Load() != nil }
+
+// invalidateSnapshot drops the cached snapshot; every adjacency mutation
+// calls it so a stale packed view can never be observed.
+func (g *Graph) invalidateSnapshot() { g.snap.Store(nil) }
+
+func (g *Graph) buildSnapshot() *Snapshot {
+	slots := 0
+	for _, row := range g.adj {
+		slots += len(row)
+	}
+	// int32 indexing halves the packed arrays' footprint. A graph that
+	// overflows it would need >2^31 incidence slots (hundreds of GB of
+	// live adjacency) — far past the validated topology envelope — so
+	// overflow is an invariant breach, not reachable user input.
+	if g.N >= math.MaxInt32 || slots >= math.MaxInt32 {
+		panic(fmt.Sprintf("graph: Freeze: graph too large for CSR snapshot (%d nodes, %d incidence slots)", g.N, slots))
+	}
+	s := &Snapshot{
+		n:      g.N,
+		off:    make([]int32, g.N+1),
+		edge:   make([]int32, slots),
+		nbr:    make([]int32, slots),
+		caps:   make([]float64, slots),
+		nbrOff: make([]int32, g.N+1),
+	}
+	pos := int32(0)
+	for u, row := range g.adj {
+		s.off[u] = pos
+		for _, id := range row {
+			e := g.Edges[id]
+			s.edge[pos] = int32(id)
+			s.nbr[pos] = int32(e.Other(u))
+			s.caps[pos] = e.Cap
+			pos++
+		}
+	}
+	s.off[g.N] = pos
+	// Distinct neighbor table. mark is reset via the per-node row itself,
+	// so the build stays O(nodes + slots + sort).
+	mark := make([]bool, g.N)
+	list := make([]int32, 0, slots)
+	for u := 0; u < g.N; u++ {
+		s.nbrOff[u] = int32(len(list))
+		start := len(list)
+		for _, w := range s.nbr[s.off[u]:s.off[u+1]] {
+			if int(w) == u || mark[w] {
+				continue
+			}
+			mark[w] = true
+			list = append(list, w)
+		}
+		row := list[start:]
+		for _, w := range row {
+			mark[w] = false
+		}
+		slices.Sort(row)
+	}
+	s.nbrOff[g.N] = int32(len(list))
+	s.nbrList = list
+	return s
+}

@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"physdep/internal/physerr"
 )
@@ -47,6 +48,10 @@ type Graph struct {
 	N     int
 	Edges []Edge
 	adj   [][]int // adj[u] = edge IDs incident to u; self-loops appear twice
+	// snap caches the frozen CSR view of adj (see Freeze in csr.go). It is
+	// atomic so read-only kernels may freeze lazily while other goroutines
+	// are reading; every mutation clears it.
+	snap atomic.Pointer[Snapshot]
 }
 
 // New returns a graph with n nodes and no edges. It panics on negative n;
@@ -69,6 +74,7 @@ func NewChecked(n int) (*Graph, error) {
 
 // AddNode appends one node and returns its ID.
 func (g *Graph) AddNode() int {
+	g.invalidateSnapshot()
 	g.adj = append(g.adj, nil)
 	g.N++
 	return g.N - 1
@@ -80,6 +86,7 @@ func (g *Graph) AddEdge(u, v int, cap float64) int {
 	if u < 0 || u >= g.N || v < 0 || v >= g.N {
 		panic(fmt.Sprintf("graph: AddEdge(%d, %d) out of range [0,%d)", u, v, g.N))
 	}
+	g.invalidateSnapshot()
 	id := len(g.Edges)
 	g.Edges = append(g.Edges, Edge{ID: id, U: u, V: v, Cap: cap})
 	g.adj[u] = append(g.adj[u], id)
@@ -98,6 +105,7 @@ func (g *Graph) RemoveEdge(id int) {
 	if id < 0 || id >= len(g.Edges) || g.Edges[id].U == -1 {
 		panic(fmt.Sprintf("graph: RemoveEdge(%d): no such live edge", id))
 	}
+	g.invalidateSnapshot()
 	e := g.Edges[id]
 	g.adj[e.U] = removeVal(g.adj[e.U], id)
 	if e.V != e.U {
@@ -137,9 +145,13 @@ func (g *Graph) NumEdges() int {
 // Degree returns the degree of node u (self-loops count twice).
 func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
 
-// IncidentEdges returns the IDs of edges incident to u. The returned slice
-// is owned by the graph; callers must not modify it.
-func (g *Graph) IncidentEdges(u int) []int { return g.adj[u] }
+// IncidentEdges returns the IDs of edges incident to u, in insertion
+// order (self-loops appear twice). The returned slice is a copy the
+// caller owns: mutating it cannot corrupt the adjacency or a frozen
+// snapshot. Hot loops that only need the degree should use Degree.
+func (g *Graph) IncidentEdges(u int) []int {
+	return append([]int(nil), g.adj[u]...)
+}
 
 // Neighbors returns the distinct neighbor nodes of u in ascending order.
 func (g *Graph) Neighbors(u int) []int {

@@ -88,8 +88,11 @@ func (sc *kspScratch) pathKey(nodes []int) []byte {
 // sequences. Parallel edges between two switches are one logical hop
 // here — they are capacity, not extra path diversity — and the router
 // spreads each hop's load across them evenly. The DFS is bounded by a
-// per-node distance-to-dst check, so the search never wanders.
-func kShortestNodePaths(g *graph.Graph, nbrs [][]int, src, dst int, distTo []int, cfg KSPConfig, sc *kspScratch) [][]int {
+// per-node distance-to-dst check, so the search never wanders. Neighbor
+// rows come from the shared CSR snapshot (distinct, ascending — the
+// same sequence the old per-call table held), so enumeration order and
+// therefore every path set is unchanged.
+func kShortestNodePaths(snap *graph.Snapshot, src, dst int, distTo []int, cfg KSPConfig, sc *kspScratch) [][]int {
 	if distTo[src] < 0 {
 		return nil
 	}
@@ -118,10 +121,10 @@ func kShortestNodePaths(g *graph.Graph, nbrs [][]int, src, dst int, distTo []int
 		}
 		onPath[u] = true
 		defer func() { onPath[u] = false }()
-		un := nbrs[u]
+		un := snap.Neighbors(u)
 		n := len(un)
 		for i := 0; i < n; i++ {
-			w := un[(i+rot)%n]
+			w := int(un[(i+rot)%n])
 			if onPath[w] || distTo[w] < 0 || distTo[w] > remaining-1 {
 				continue
 			}
@@ -185,16 +188,13 @@ func KSPThroughputCtx(ctx context.Context, t *topology.Topology, m Matrix, cfg K
 		paths  [][]int // node sequences
 	}
 	perDst := make([][]rawPair, len(tors))
-	// The DFS expands nodes far more often than there are nodes, so the
-	// sorted-neighbor view is computed once up front (itself in parallel)
-	// instead of per expansion — the dominant alloc source otherwise.
-	nbrs, err := par.MapCtx(ctx, t.N, func(u int) ([]int, error) { return t.Neighbors(u), nil })
-	if err != nil {
-		stopEnum()
-		return 0, err
-	}
+	// The DFS expands nodes far more often than there are nodes, so it
+	// walks the graph's frozen CSR snapshot: the packed distinct-neighbor
+	// rows replace the per-call sorted-neighbor table this kernel used to
+	// build (the dominant alloc source), and every worker shares them.
+	snap := t.Freeze()
 	scratch := make([]*kspScratch, par.Workers())
-	err = par.ForWorkerCtx(ctx, len(tors), func(wk, j int) error {
+	err := par.ForWorkerCtx(ctx, len(tors), func(wk, j int) error {
 		sc := scratch[wk]
 		if sc == nil {
 			sc = newKSPScratch(t.N)
@@ -208,7 +208,7 @@ func KSPThroughputCtx(ctx context.Context, t *topology.Topology, m Matrix, cfg K
 			if d <= 0 || src == dst {
 				continue
 			}
-			raw := kShortestNodePaths(t.Graph, nbrs, src, dst, sc.dist, cfg, sc)
+			raw := kShortestNodePaths(snap, src, dst, sc.dist, cfg, sc)
 			if len(raw) == 0 {
 				return fmt.Errorf("trafficsim: no path %d→%d", src, dst)
 			}

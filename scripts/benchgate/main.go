@@ -1,0 +1,274 @@
+// Command benchgate is the repo's benchmark regression gate: it re-runs
+// the experiments whose committed BENCH_<ID>.json baselines define the
+// perf trajectory (E1, E7, E16 — the all-pairs BFS, KSP water-filling,
+// and topology-engineering hot paths), measures wall-clock and
+// allocations the same way `cmd/experiments -bench-json` does, and fails
+// if either regresses past a generous tolerance. check.sh (and therefore
+// CI) runs it on every commit, so a kernel regression cannot ship
+// silently.
+//
+// Usage:
+//
+//	go run ./scripts/benchgate              # gate against committed baselines
+//	go run ./scripts/benchgate -update      # re-measure and rewrite baselines
+//	BENCHGATE_SKIP=1 go run ./scripts/benchgate   # no-op (noisy runners)
+//
+// Tolerances are deliberately loose — wall-clock comparisons across
+// machines and loaded CI runners are noisy — and tunable per run:
+// -wall-factor (default 3.0) bounds measured/baseline wall time,
+// -alloc-factor (default 1.25) bounds measured/baseline allocations.
+// Allocation counts are nearly machine-independent, so the alloc bound is
+// the one that catches real regressions (a kernel quietly reverting to a
+// pointer-chasing or per-call-allocating path); the wall bound is a
+// backstop for order-of-magnitude slowdowns.
+//
+// -update rewrites each baseline atomically (temp file + rename, the
+// same contract as cmd/experiments' artifact writes), so an interrupted
+// update never leaves a torn baseline behind.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"physdep/internal/experiments"
+	"physdep/internal/par"
+)
+
+// sample and entry mirror cmd/experiments' bench-json schema exactly, so
+// the gate reads the committed BENCH_*.json files and -update writes
+// byte-compatible replacements.
+type sample struct {
+	Workers         int     `json:"workers"`
+	WallMS          float64 `json:"wall_ms"`
+	Allocs          uint64  `json:"allocs"`
+	AllocBytes      uint64  `json:"alloc_bytes"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+type entry struct {
+	ID         string   `json:"id"`
+	Title      string   `json:"title"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Reps       int      `json:"reps"`
+	Date       string   `json:"date"`
+	Samples    []sample `json:"samples"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	dir := flag.String("dir", ".", "directory holding the BENCH_<ID>.json baselines")
+	ids := flag.String("ids", "E1,E7,E16", "comma-separated experiment IDs to gate")
+	reps := flag.Int("reps", 3, "repetitions per point (best wall-clock wins)")
+	update := flag.Bool("update", false, "re-measure and atomically rewrite the baselines instead of gating")
+	wallFactor := flag.Float64("wall-factor", 3.0, "fail when measured wall_ms exceeds baseline × this")
+	allocFactor := flag.Float64("alloc-factor", 1.25, "fail when measured allocs exceed baseline × this")
+	flag.Parse()
+
+	if os.Getenv("BENCHGATE_SKIP") != "" {
+		fmt.Println("benchgate: skipped (BENCHGATE_SKIP set)")
+		return 0
+	}
+
+	pool := par.Workers()
+	defer par.SetWorkers(0)
+
+	failed := false
+	for _, id := range strings.Split(*ids, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if experiments.Get(id) == nil {
+			fmt.Fprintf(os.Stderr, "benchgate: unknown experiment %q\n", id)
+			return 2
+		}
+		path := filepath.Join(*dir, "BENCH_"+id+".json")
+		baseline, err := load(path)
+		if err != nil {
+			if *update && os.IsNotExist(err) {
+				baseline = nil // fresh baseline: measure the default sweep
+			} else {
+				fmt.Fprintf(os.Stderr, "benchgate: %s: %v (run `go run ./scripts/benchgate -update` to create baselines)\n", path, err)
+				return 2
+			}
+		}
+		counts := []int{1, pool}
+		if pool == 1 {
+			counts = []int{1, 4} // keep a scaling point even on 1-CPU runners
+		}
+		if baseline != nil {
+			counts = counts[:0]
+			for _, s := range baseline.Samples {
+				counts = append(counts, s.Workers)
+			}
+		}
+		measured, err := measure(id, counts, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", id, err)
+			return 2
+		}
+		if *update {
+			if err := writeJSON(path, measured); err != nil {
+				fmt.Fprintf(os.Stderr, "benchgate: write %s: %v\n", path, err)
+				return 2
+			}
+			fmt.Println(path)
+			continue
+		}
+		if !compare(id, baseline, measured, *wallFactor, *allocFactor) {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL — a hot kernel regressed past tolerance.")
+		fmt.Fprintln(os.Stderr, "benchgate: if the regression is intentional, rewrite the baselines with `go run ./scripts/benchgate -update` and commit the diff;")
+		fmt.Fprintln(os.Stderr, "benchgate: on a known-noisy runner, set BENCHGATE_SKIP=1.")
+		return 1
+	}
+	if !*update {
+		fmt.Println("benchgate: all baselines within tolerance")
+	}
+	return 0
+}
+
+func load(path string) (*entry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	return &e, nil
+}
+
+// measure times one experiment at each worker count: one warm-up run
+// (memoization, lazy tables), then reps timed runs with the best
+// wall-clock kept — the same protocol as cmd/experiments -bench-json.
+func measure(id string, counts []int, reps int) (*entry, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	runFn := experiments.Get(id)
+	if _, err := runFn(context.Background()); err != nil {
+		return nil, fmt.Errorf("warm-up: %w", err)
+	}
+	e := &entry{
+		ID:         id,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Reps:       reps,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+	}
+	for _, w := range counts {
+		par.SetWorkers(w)
+		best := sample{Workers: w}
+		for r := 0; r < reps; r++ {
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			res, err := runFn(context.Background())
+			if err != nil {
+				return nil, fmt.Errorf("workers=%d: %w", w, err)
+			}
+			e.Title = res.Title
+			wall := float64(time.Since(t0).Microseconds()) / 1000
+			runtime.ReadMemStats(&m1)
+			if r == 0 || wall < best.WallMS {
+				best.WallMS = wall
+				best.Allocs = m1.Mallocs - m0.Mallocs
+				best.AllocBytes = m1.TotalAlloc - m0.TotalAlloc
+			}
+		}
+		e.Samples = append(e.Samples, best)
+	}
+	par.SetWorkers(0)
+	if len(e.Samples) > 1 && e.Samples[0].Workers == 1 {
+		serial := e.Samples[0].WallMS
+		for i := range e.Samples[1:] {
+			if e.Samples[i+1].WallMS > 0 {
+				e.Samples[i+1].SpeedupVsSerial = serial / e.Samples[i+1].WallMS
+			}
+		}
+	}
+	return e, nil
+}
+
+// compare prints one verdict line per (experiment, worker count) and
+// reports whether every measured sample stayed within tolerance of its
+// baseline twin. Worker counts present on only one side are skipped —
+// the sweep is driven by the baseline, so that only happens on a
+// hand-edited file.
+func compare(id string, baseline, measured *entry, wallFactor, allocFactor float64) bool {
+	ok := true
+	for _, m := range measured.Samples {
+		var b *sample
+		for i := range baseline.Samples {
+			if baseline.Samples[i].Workers == m.Workers {
+				b = &baseline.Samples[i]
+				break
+			}
+		}
+		if b == nil {
+			fmt.Printf("benchgate %s w=%d: no baseline sample, skipped\n", id, m.Workers)
+			continue
+		}
+		wallBad := b.WallMS > 0 && m.WallMS > b.WallMS*wallFactor
+		allocBad := b.Allocs > 0 && float64(m.Allocs) > float64(b.Allocs)*allocFactor
+		verdict := "ok"
+		if wallBad || allocBad {
+			verdict = "REGRESSION"
+			ok = false
+		}
+		fmt.Printf("benchgate %s w=%d: wall %.1fms vs %.1fms (×%.2f ≤ %.2f) allocs %d vs %d (×%.3f ≤ %.3f) %s\n",
+			id, m.Workers, m.WallMS, b.WallMS, ratio(m.WallMS, b.WallMS), wallFactor,
+			m.Allocs, b.Allocs, ratio(float64(m.Allocs), float64(b.Allocs)), allocFactor, verdict)
+	}
+	return ok
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWriteFile(path, append(b, '\n'))
+}
+
+// atomicWriteFile writes data via a temp file in the same directory plus
+// rename — the same atomic-write contract cmd/experiments uses for its
+// artifacts, so a crash or ^C mid-update leaves the old baseline intact.
+func atomicWriteFile(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -21,6 +21,13 @@
 # the targets run one at a time. FUZZTIME=0 skips the live fuzzing (the
 # seeds still replay as part of go test above); raise it locally for a
 # deeper soak, e.g. FUZZTIME=30s ./scripts/check.sh.
+#
+# Benchgate: scripts/benchgate re-runs the E1/E7/E16 benchmarks and
+# compares wall-clock and allocations against the committed BENCH_*.json
+# baselines (generous tolerance; allocs are the sharp edge). A real,
+# intentional perf change is recorded by committing the output of
+# `go run ./scripts/benchgate -update`. BENCHGATE_SKIP=1 skips the stage
+# on runners too noisy to time anything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,6 +68,13 @@ if go run -race ./cmd/experiments -run E1 -timeout "$deadline" \
 fi
 grep -q 'run canceled' "$tmp/cancel.err"
 grep -q '"interrupted": true' "$tmp/cancel-manifest.json"
+
+if [ "${BENCHGATE_SKIP:-}" = "1" ]; then
+  echo "== benchgate (skipped: BENCHGATE_SKIP=1)"
+else
+  echo "== benchgate (perf regression gate; BENCHGATE_SKIP=1 to skip)"
+  go run ./scripts/benchgate
+fi
 
 if [ "$FUZZTIME" != "0" ]; then
   echo "== fuzz smoke (${FUZZTIME} per target)"
