@@ -72,6 +72,13 @@ func BenchmarkE20DayOneVsLifetime(b *testing.B)   { benchExperiment(b, "E20") }
 func BenchmarkE21HumanFactors(b *testing.B)       { benchExperiment(b, "E21") }
 func BenchmarkE22SupplyChainAudit(b *testing.B)   { benchExperiment(b, "E22") }
 
+// The E-scale band: fleet-size fabrics under the sampled path-stats
+// estimator (DESIGN.md §11). These are the multicore headline targets —
+// their all-pairs sweeps dominate, so -bench-workers sweeps show real
+// scaling where the classic band's small fabrics amortize poorly.
+func BenchmarkES1SampledCalibration(b *testing.B) { benchExperiment(b, "ES1") }
+func BenchmarkES2FleetScale(b *testing.B)         { benchExperiment(b, "ES2") }
+
 // --- Ablations: the design choices DESIGN.md §4 calls out. Each reports
 // its quality delta as a custom metric alongside the timing.
 
@@ -228,8 +235,9 @@ func BenchmarkAblationThroughputProxy(b *testing.B) {
 // Ensure the registry and the benchmark list stay in sync.
 func TestBenchCoverageMatchesExperiments(t *testing.T) {
 	want := len(experiments.Order())
-	// One BenchmarkE* per experiment, enumerated above.
-	got := 22
+	// One BenchmarkE* per experiment, enumerated above (22 classic + ES1,
+	// ES2).
+	got := 24
 	if got != want {
 		t.Fatalf("bench harness covers %d experiments, registry has %d — add the missing BenchmarkE*", got, want)
 	}

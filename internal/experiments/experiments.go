@@ -101,14 +101,19 @@ func registry() map[string]Runner {
 		"E20": E20DayOneVsLifetime,
 		"E21": E21HumanFactors,
 		"E22": E22SupplyChainAudit,
+		"ES1": ES1SampledCalibration,
+		"ES2": ES2FleetScale,
 	}
 }
 
-// Order lists experiment IDs in presentation order.
+// Order lists experiment IDs in presentation order. The ES band (E-scale:
+// 10k–100k switches under the sampled path-stats estimator) follows the
+// classic numbered band.
 func Order() []string {
 	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7",
 		"E8", "E9", "E10", "E11", "E12", "E13", "E14",
-		"E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22"}
+		"E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22",
+		"ES1", "ES2"}
 }
 
 // Outcome is one experiment's run result, error included, so a failing

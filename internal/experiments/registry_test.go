@@ -20,9 +20,9 @@ func TestRegistryCoversDesignDoc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Table rows look like "| E7 | §4.2 | ..."; anchors elsewhere in prose
-	// don't match the row shape.
-	rows := regexp.MustCompile(`(?m)^\| (E\d+) \|`).FindAllStringSubmatch(string(b), -1)
+	// Table rows look like "| E7 | §4.2 | ..." (the E-scale band uses
+	// "| ES1 | ..."); anchors elsewhere in prose don't match the row shape.
+	rows := regexp.MustCompile(`(?m)^\| (ES?\d+) \|`).FindAllStringSubmatch(string(b), -1)
 	design := map[string]bool{}
 	for _, m := range rows {
 		design[m[1]] = true

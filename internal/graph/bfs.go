@@ -68,48 +68,47 @@ type PathStats struct {
 	Unreachable int // number of ordered unreachable pairs
 }
 
-// parallelSourcesMin is the node-set size below which the all-pairs sweep
+// parallelSourcesMin is the source-count below which the all-pairs sweep
 // stays serial: under ~tens of sources the fan-out overhead exceeds the
 // BFS work.
 const parallelSourcesMin = 24
 
-// AllPairsStats runs BFS from every node in nodes (or all nodes if nodes is
-// nil) and aggregates diameter and mean hop count restricted to pairs
-// within the set. Topology comparisons use ToR-to-ToR stats, so the subset
-// form matters.
-//
-// The per-source BFS sweeps fan out across par.Workers() goroutines with
-// per-worker reusable dist buffers. The aggregate is exact integer state
-// (sum, max, counts), so the result is identical to the serial sweep for
-// any worker count.
-func (g *Graph) AllPairsStats(nodes []int) PathStats {
-	// A background context cannot cancel, and the sweep has no other
-	// failure mode, so the error is structurally nil here.
-	st, _ := g.AllPairsStatsCtx(context.Background(), nodes)
-	return st
+// apPartial is one worker's exact integer reduction state for a BFS
+// sweep. The trailing pad rounds the struct up to 128 bytes — two cache
+// lines, covering the adjacent-line spatial prefetcher — so the parts
+// array (one element per worker, written on every accumulated source)
+// never false-shares a line between workers.
+type apPartial struct {
+	sum            int64
+	diam           int
+	reach, unreach int
+	_              [12]int64 // pad 32-byte payload to 128 bytes
 }
 
-// AllPairsStatsCtx is AllPairsStats with cancellation: ctx is checked
-// before each source's BFS (the unit of work), so a canceled sweep stops
-// within one source and returns an error matching physerr.ErrCanceled.
-// A sweep that completes is byte-identical to AllPairsStats.
-func (g *Graph) AllPairsStatsCtx(ctx context.Context, nodes []int) (PathStats, error) {
-	defer obs.Time("graph.allpairs")()
+// apScratch is one worker's reusable BFS buffers. The two slice headers
+// are written back after every source (the queue may be regrown), so the
+// pad keeps adjacent workers' headers off a shared cache line for the
+// same reason apPartial is padded.
+type apScratch struct {
+	dist  []int
+	queue []int
+	_     [80]byte // pad 48 bytes of headers to 128
+}
+
+// sweepSources runs one BFS per entry of sources and reduces pair stats
+// against the membership set nodes (sources must be a subset of nodes;
+// the exhaustive sweep passes sources == nodes). perSource, when non-nil,
+// receives each source's row sum and reachable count keyed by its index
+// in sources — per-index delivery, so the record (and everything derived
+// from it) is identical for any worker count. The integer reduction over
+// per-worker partials is associative, so the combined PathStats is too.
+func (g *Graph) sweepSources(ctx context.Context, sources, nodes []int, perSource func(i int, rowSum int64, rowReach int)) (PathStats, error) {
 	// Freeze once before the fan-out: every per-source BFS then iterates
 	// the packed rows, and the workers share one immutable snapshot.
 	g.Freeze()
-	if nodes == nil {
-		nodes = make([]int, g.N)
-		for i := range nodes {
-			nodes[i] = i
-		}
-	}
-	type partial struct {
-		sum            int64
-		diam           int
-		reach, unreach int
-	}
-	accumulate := func(pt *partial, dist []int, u int) {
+	accumulate := func(pt *apPartial, dist []int, u int) (int64, int) {
+		var rowSum int64
+		rowReach := 0
 		for _, v := range nodes {
 			if v == u {
 				continue
@@ -119,39 +118,47 @@ func (g *Graph) AllPairsStatsCtx(ctx context.Context, nodes []int) (PathStats, e
 				pt.unreach++
 				continue
 			}
-			pt.reach++
-			pt.sum += int64(d)
+			rowReach++
+			rowSum += int64(d)
 			if d > pt.diam {
 				pt.diam = d
 			}
 		}
+		pt.sum += rowSum
+		pt.reach += rowReach
+		return rowSum, rowReach
 	}
-	obs.Add("graph.allpairs.sources", int64(len(nodes)))
-	var parts []partial
-	if len(nodes) < parallelSourcesMin || par.Workers() == 1 {
-		parts = make([]partial, 1)
+	var parts []apPartial
+	if len(sources) < parallelSourcesMin || par.Workers() == 1 {
+		parts = make([]apPartial, 1)
 		dist := make([]int, g.N)
 		var queue []int
 		cancellable := ctx.Done() != nil
-		for _, u := range nodes {
+		for i, u := range sources {
 			if cancellable {
 				if err := ctx.Err(); err != nil {
 					return PathStats{}, physerr.Canceled(err)
 				}
 			}
 			queue = g.BFSInto(u, dist, queue)
-			accumulate(&parts[0], dist, u)
+			rowSum, rowReach := accumulate(&parts[0], dist, u)
+			if perSource != nil {
+				perSource(i, rowSum, rowReach)
+			}
 		}
 	} else {
-		parts = make([]partial, par.Workers())
-		dists := make([][]int, len(parts))
-		queues := make([][]int, len(parts))
-		err := par.ForWorkerCtx(ctx, len(nodes), func(wk, i int) error {
-			if dists[wk] == nil {
-				dists[wk] = make([]int, g.N)
+		parts = make([]apPartial, par.Workers())
+		scratch := make([]apScratch, len(parts))
+		err := par.ForWorkerCtx(ctx, len(sources), func(wk, i int) error {
+			sc := &scratch[wk]
+			if sc.dist == nil {
+				sc.dist = make([]int, g.N)
 			}
-			queues[wk] = g.BFSInto(nodes[i], dists[wk], queues[wk])
-			accumulate(&parts[wk], dists[wk], nodes[i])
+			sc.queue = g.BFSInto(sources[i], sc.dist, sc.queue)
+			rowSum, rowReach := accumulate(&parts[wk], sc.dist, sources[i])
+			if perSource != nil {
+				perSource(i, rowSum, rowReach)
+			}
 			return nil
 		})
 		if err != nil {
@@ -172,6 +179,50 @@ func (g *Graph) AllPairsStatsCtx(ctx context.Context, nodes []int) (PathStats, e
 		st.MeanHops = float64(sum) / float64(st.Reachable)
 	}
 	return st, nil
+}
+
+// allNodes returns nodes itself, or the full [0, g.N) list when nil — the
+// shared default of the all-pairs entry points.
+func (g *Graph) allNodes(nodes []int) []int {
+	if nodes != nil {
+		return nodes
+	}
+	nodes = make([]int, g.N)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return nodes
+}
+
+// AllPairsStats runs BFS from every node in nodes (or all nodes if nodes is
+// nil) and aggregates diameter and mean hop count restricted to pairs
+// within the set. Topology comparisons use ToR-to-ToR stats, so the subset
+// form matters.
+//
+// The per-source BFS sweeps fan out across par.Workers() goroutines with
+// per-worker reusable dist buffers. The aggregate is exact integer state
+// (sum, max, counts), so the result is identical to the serial sweep for
+// any worker count.
+//
+// The sweep is Θ(|nodes| · (N + E)): exact, but quadratic-ish in the node
+// set. Fleet-scale callers (10k+ sources) should use AllPairsStatsSampled,
+// which bounds the sweep at a fixed source sample with documented error.
+func (g *Graph) AllPairsStats(nodes []int) PathStats {
+	// A background context cannot cancel, and the sweep has no other
+	// failure mode, so the error is structurally nil here.
+	st, _ := g.AllPairsStatsCtx(context.Background(), nodes)
+	return st
+}
+
+// AllPairsStatsCtx is AllPairsStats with cancellation: ctx is checked
+// before each source's BFS (the unit of work), so a canceled sweep stops
+// within one source and returns an error matching physerr.ErrCanceled.
+// A sweep that completes is byte-identical to AllPairsStats.
+func (g *Graph) AllPairsStatsCtx(ctx context.Context, nodes []int) (PathStats, error) {
+	defer obs.Time("graph.allpairs")()
+	nodes = g.allNodes(nodes)
+	obs.Add("graph.allpairs.sources", int64(len(nodes)))
+	return g.sweepSources(ctx, nodes, nodes, nil)
 }
 
 // Connected reports whether all nodes are mutually reachable. The empty

@@ -49,6 +49,15 @@ func (s *Snapshot) Neighbors(u int) []int32 {
 // Graph.Degree at freeze time.
 func (s *Snapshot) Degree(u int) int { return int(s.off[u+1] - s.off[u]) }
 
+// Row returns node u's incidence slots as two parallel slices — the edge
+// ID and the endpoint opposite u for each slot, in adjacency slot order.
+// Removal swap-deletes adjacency entries, so slot order is not sorted by
+// edge ID; callers that need the EdgesBetween order must sort. Both
+// slices alias the snapshot and must not be modified.
+func (s *Snapshot) Row(u int) (edge, nbr []int32) {
+	return s.edge[s.off[u]:s.off[u+1]], s.nbr[s.off[u]:s.off[u+1]]
+}
+
 // Freeze returns the graph's CSR snapshot, building and caching it on
 // first use. Freeze is idempotent and safe to call from multiple
 // goroutines (concurrent builds produce identical snapshots; one wins).

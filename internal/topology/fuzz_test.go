@@ -31,9 +31,11 @@ func FuzzTopologyGenerators(f *testing.F) {
 	f.Add(uint8(7), 5, 1, 0, 0, uint64(0), float64(100))
 	f.Add(uint8(8), 4, 2, 4, 8, uint64(0), float64(100))
 	f.Add(uint8(9), 2, 2, 1, 2, uint64(0), float64(100))
+	f.Add(uint8(10), 12, 8, 4, 0, uint64(9), float64(100))
 	// Regression shapes: zero and negative parameters everywhere.
 	f.Add(uint8(3), 0, 0, 0, 0, uint64(0), float64(0))
 	f.Add(uint8(4), -1, -1, -1, -1, uint64(1), float64(-5))
+	f.Add(uint8(10), -2, 0, -1, 3, uint64(0), float64(-1))
 	f.Fuzz(func(t *testing.T, gen uint8, a, b, c, d int, seed uint64, rate float64) {
 		a, b = clampParam(a, 24), clampParam(b, 24)
 		c, d = clampParam(c, 12), clampParam(d, 12)
@@ -42,7 +44,7 @@ func FuzzTopologyGenerators(f *testing.F) {
 			topo *Topology
 			err  error
 		)
-		switch gen % 10 {
+		switch gen % 11 {
 		case 0:
 			topo, err = FatTree(FatTreeConfig{K: a, Rate: r})
 		case 1:
@@ -72,15 +74,17 @@ func FuzzTopologyGenerators(f *testing.F) {
 		case 9:
 			topo, err = TransitMesh(TransitMeshConfig{OldBlocks: a, NewBlocks: b, TransitBlocks: c,
 				OldRate: r, NewRate: r, LinksWithinMesh: d, LinksToTransit: 1})
+		case 10:
+			topo, err = FlatRandom(FlatRandomConfig{N: a, K: b, R: c, Rate: r, Seed: seed})
 		}
 		if err != nil {
 			return
 		}
 		if topo == nil {
-			t.Fatalf("gen %d returned nil topology and nil error", gen%10)
+			t.Fatalf("gen %d returned nil topology and nil error", gen%11)
 		}
 		if verr := topo.Validate(); verr != nil {
-			t.Fatalf("gen %d built an invalid topology: %v", gen%10, verr)
+			t.Fatalf("gen %d built an invalid topology: %v", gen%11, verr)
 		}
 	})
 }

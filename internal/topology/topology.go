@@ -154,14 +154,34 @@ type Stats struct {
 	Switches  int
 	Links     int
 	Servers   int
-	ToRDiam   int     // diameter over ToR pairs
+	ToRDiam   int     // diameter over ToR pairs (lower bound when sampled)
 	ToRMean   float64 // mean ToR-to-ToR hop count
 	BisectGB  float64 // heuristic bisection capacity (Gbps)
 	Expansion float64 // spectral gap estimate, if computed (else 0)
+	// Path-stat provenance: PathsExact reports whether the ToR sweep was
+	// exhaustive (every fabric at or under graph.DefaultExhaustiveBelow
+	// ToRs — the whole classic experiment band — stays exact).
+	// PathSources is the number of BFS sources swept, and ToRMeanCI the
+	// sampled estimator's 95% half-width on ToRMean (0 when exact). See
+	// DESIGN.md §11 for the estimator contract.
+	PathsExact  bool
+	PathSources int
+	ToRMeanCI   float64
 }
+
+// statsSampleSeed fixes the BFS source sample of every BasicStats call:
+// stats are a property of the fabric, so two calls on the same topology
+// must agree — the seed is part of the estimator's identity, not a knob.
+const statsSampleSeed uint64 = 0x70617468 // "path"
 
 // BasicStats computes switch/link/server counts and ToR path statistics.
 // Bisection and expansion are left to callers because they need a PRNG.
+//
+// Path stats come from graph.AllPairsStatsSampled under a fixed seed:
+// exhaustive (and byte-identical to the historical sweep) up to
+// graph.DefaultExhaustiveBelow ToRs, a bounded-error sample above — which
+// is what lets the E-scale band evaluate 100k-switch fabrics. The Stats
+// provenance fields say which one happened.
 func (t *Topology) BasicStats() Stats {
 	// A background context cannot cancel the all-pairs sweep, so the
 	// error is structurally nil here.
@@ -173,15 +193,18 @@ func (t *Topology) BasicStats() Stats {
 // all-pairs ToR sweep, the only long-running part. A canceled call
 // returns an error matching physerr.ErrCanceled.
 func (t *Topology) BasicStatsCtx(ctx context.Context) (Stats, error) {
-	ps, err := t.AllPairsStatsCtx(ctx, t.ToRs())
+	ps, err := t.AllPairsStatsSampledCtx(ctx, t.ToRs(), graph.SampleSpec{Seed: statsSampleSeed})
 	if err != nil {
 		return Stats{}, err
 	}
 	return Stats{
-		Switches: t.NumSwitches(),
-		Links:    t.NumEdges(),
-		Servers:  t.Servers(),
-		ToRDiam:  ps.Diameter,
-		ToRMean:  ps.MeanHops,
+		Switches:    t.NumSwitches(),
+		Links:       t.NumEdges(),
+		Servers:     t.Servers(),
+		ToRDiam:     ps.Diameter,
+		ToRMean:     ps.MeanHops,
+		PathsExact:  ps.Exact,
+		PathSources: ps.Sources,
+		ToRMeanCI:   ps.MeanHopsCI,
 	}, nil
 }

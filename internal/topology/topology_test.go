@@ -152,6 +152,86 @@ func TestJellyfishRejectsBadParams(t *testing.T) {
 	}
 }
 
+func TestFlatRandomRegularSimpleConnected(t *testing.T) {
+	fr, err := FlatRandom(FlatRandomConfig{N: 500, K: 12, R: 6, Rate: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.IsRegular(6) {
+		min, max := fr.MinMaxDegree()
+		t.Errorf("flatrandom not 6-regular: degrees in [%d,%d]", min, max)
+	}
+	if !fr.Connected() {
+		t.Error("flatrandom disconnected")
+	}
+	for u := 0; u < fr.N; u++ {
+		for _, v := range fr.Neighbors(u) {
+			if len(fr.EdgesBetween(u, v)) > 1 {
+				t.Errorf("parallel edge between %d and %d", u, v)
+			}
+		}
+		if fr.HasEdgeBetween(u, u) {
+			t.Errorf("self-loop at %d", u)
+		}
+	}
+	if got, want := fr.Servers(), 500*6; got != want {
+		t.Errorf("servers = %d, want %d", got, want)
+	}
+}
+
+// TestFlatRandomDeterministic: same (config, seed) must wire the same
+// fabric — the property the E-scale golden tables rest on.
+func TestFlatRandomDeterministic(t *testing.T) {
+	cfg := FlatRandomConfig{N: 300, K: 16, R: 8, Rate: 100, Seed: 42}
+	a, err := FlatRandom(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FlatRandom(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("edge counts differ: %d vs %d", len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i].U != b.Edges[i].U || a.Edges[i].V != b.Edges[i].V {
+			t.Fatalf("edge %d differs: (%d,%d) vs (%d,%d)",
+				i, a.Edges[i].U, a.Edges[i].V, b.Edges[i].U, b.Edges[i].V)
+		}
+	}
+}
+
+func TestFlatRandomQuickProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 12 + int(seed%5)*2 // 12..20, even N·R below
+		fr, err := FlatRandom(FlatRandomConfig{N: n, K: 8, R: 4, Rate: 40, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return fr.IsRegular(4) && fr.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlatRandomRejectsBadParams(t *testing.T) {
+	cases := []FlatRandomConfig{
+		{N: 0, K: 4, R: 2, Seed: 1},   // N < 1
+		{N: 10, K: 4, R: 1, Seed: 1},  // R < 2
+		{N: 10, K: 4, R: 4, Seed: 1},  // R == K
+		{N: 3, K: 8, R: 4, Seed: 1},   // R >= N
+		{N: 5, K: 8, R: 3, Seed: 1},   // odd N*R
+		{N: 10, K: 8, R: 4, Rate: -1}, // negative rate
+	}
+	for _, c := range cases {
+		if _, err := FlatRandom(c); err == nil {
+			t.Errorf("FlatRandom(%+v) accepted invalid params", c)
+		}
+	}
+}
+
 func TestXpanderStructure(t *testing.T) {
 	x, err := Xpander(XpanderConfig{D: 6, Lift: 5, ServerPorts: 8, Rate: 100, Seed: 3})
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"slices"
 
 	"physdep/internal/graph"
 	"physdep/internal/obs"
@@ -223,47 +224,50 @@ func KSPThroughputCtx(ctx context.Context, t *topology.Topology, m Matrix, cfg K
 	}
 
 	// Phase 2 (sequential): translate paths to directional trunk indices
-	// and water-fill in the fixed pair order.
+	// and water-fill in the fixed pair order. The translated form is four
+	// flat arenas — pair → path → hop → parallel dir index, each level an
+	// int32 offset range into the next — replacing the old per-hop map
+	// cache and nested [][][]int: the water-fill inner loop walks
+	// contiguous memory, and translation allocates only the arenas.
 	defer obs.Time("trafficsim.ksp.waterfill")()
-	// hop is one logical link of a path: the directional load indices of
-	// its parallel trunk members.
-	type pairPaths struct {
-		demand float64
-		paths  [][][]int // path -> hop -> parallel dir indices
-	}
-	hopCache := map[[2]int][]int{}
-	hopDirs := func(u, v int) []int {
-		if dirs, ok := hopCache[[2]int{u, v}]; ok {
-			return dirs
-		}
-		var dirs []int
-		for _, id := range t.EdgesBetween(u, v) {
-			dirs = append(dirs, graph.DirLoad(id, t.Edges[id].U == u))
-		}
-		hopCache[[2]int{u, v}] = dirs
-		return dirs
-	}
-	var pairs []pairPaths
+	var (
+		pairDemand  []float64
+		pairPathOff = []int32{0} // pair i owns paths [pairPathOff[i], pairPathOff[i+1])
+		pathHopOff  = []int32{0} // path p owns hops  [pathHopOff[p], pathHopOff[p+1])
+		hopDirOff   = []int32{0} // hop h owns dirs   dirArena[hopDirOff[h]:hopDirOff[h+1]]
+		dirArena    []int32
+		hopIDs      []int32 // one hop's parallel edge IDs, reused
+	)
 	for j := range tors {
 		for _, rp := range perDst[j] {
-			pp := pairPaths{demand: rp.demand}
+			pairDemand = append(pairDemand, rp.demand)
 			for _, nodes := range rp.paths {
-				hops := make([][]int, 0, len(nodes)-1)
 				for k := 0; k+1 < len(nodes); k++ {
-					hops = append(hops, hopDirs(nodes[k], nodes[k+1]))
+					u, v := nodes[k], nodes[k+1]
+					// Collect the parallel trunk members u→v from u's CSR
+					// row, sorted ascending — the order EdgesBetween has
+					// always returned (removal leaves slots unsorted).
+					hopIDs = hopIDs[:0]
+					edge, nbr := snap.Row(u)
+					for s, w := range nbr {
+						if int(w) == v {
+							hopIDs = append(hopIDs, edge[s])
+						}
+					}
+					slices.Sort(hopIDs)
+					for _, id := range hopIDs {
+						dirArena = append(dirArena, int32(graph.DirLoad(int(id), t.Edges[id].U == u)))
+					}
+					hopDirOff = append(hopDirOff, int32(len(dirArena)))
 				}
-				pp.paths = append(pp.paths, hops)
+				pathHopOff = append(pathHopOff, int32(len(hopDirOff)-1))
 			}
-			pairs = append(pairs, pp)
+			pairPathOff = append(pairPathOff, int32(len(pathHopOff)-1))
 		}
 	}
 	if obs.Enabled() {
-		paths := 0
-		for _, pp := range pairs {
-			paths += len(pp.paths)
-		}
-		obs.Add("trafficsim.ksp.pairs", int64(len(pairs)))
-		obs.Add("trafficsim.ksp.paths", int64(paths))
+		obs.Add("trafficsim.ksp.pairs", int64(len(pairDemand)))
+		obs.Add("trafficsim.ksp.paths", int64(len(pathHopOff)-1))
 	}
 	load := make([]float64, 2*len(t.Edges))
 	cancellable := ctx.Done() != nil
@@ -276,12 +280,13 @@ func KSPThroughputCtx(ctx context.Context, t *topology.Topology, m Matrix, cfg K
 				return 0, physerr.Canceled(err)
 			}
 		}
-		for _, pp := range pairs {
-			f := pp.demand / float64(cfg.Chunks)
-			best, bestCost := -1, 0.0
-			for k, hops := range pp.paths {
+		for pi := range pairDemand {
+			f := pairDemand[pi] / float64(cfg.Chunks)
+			best, bestCost := int32(-1), 0.0
+			for p := pairPathOff[pi]; p < pairPathOff[pi+1]; p++ {
 				cost := 0.0
-				for _, dirs := range hops {
+				for h := pathHopOff[p]; h < pathHopOff[p+1]; h++ {
+					dirs := dirArena[hopDirOff[h]:hopDirOff[h+1]]
 					share := f / float64(len(dirs))
 					for _, di := range dirs {
 						if load[di]+share > cost {
@@ -290,10 +295,11 @@ func KSPThroughputCtx(ctx context.Context, t *topology.Topology, m Matrix, cfg K
 					}
 				}
 				if best == -1 || cost < bestCost {
-					best, bestCost = k, cost
+					best, bestCost = p, cost
 				}
 			}
-			for _, dirs := range pp.paths[best] {
+			for h := pathHopOff[best]; h < pathHopOff[best+1]; h++ {
+				dirs := dirArena[hopDirOff[h]:hopDirOff[h+1]]
 				share := f / float64(len(dirs))
 				for _, di := range dirs {
 					load[di] += share

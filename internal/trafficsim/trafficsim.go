@@ -135,20 +135,26 @@ func ECMPThroughput(t *topology.Topology, m Matrix) (float64, error) {
 		return 0, fmt.Errorf("trafficsim: matrix is %d×%d but topology has %d ToRs", m.N, m.N, len(tors))
 	}
 	load := make([]float64, 2*len(t.Edges))
+	// One scratch and one node-indexed weight vector serve every
+	// destination: the per-destination DAG/load buffers are reused, so the
+	// sweep allocates nothing per ToR. ECMPRouteInto merges each
+	// destination's loads into load index-ascending, exactly as the old
+	// allocate-per-destination loop did.
+	sc := t.NewECMPScratch()
+	weight := make([]float64, t.N)
 	for j, dst := range tors {
-		w := map[int]float64{}
+		any := false
 		for i, src := range tors {
+			weight[src] = 0
 			if d := m.D[i][j]; d > 0 && src != dst {
-				w[src] = d
+				weight[src] = d
+				any = true
 			}
 		}
-		if len(w) == 0 {
+		if !any {
 			continue
 		}
-		dl := t.ECMPLinkLoadsWeighted(w, dst)
-		for idx, l := range dl {
-			load[idx] += l
-		}
+		t.ECMPRouteInto(weight, dst, load, sc)
 	}
 	return alphaFromDirectionalLoads(t, load)
 }

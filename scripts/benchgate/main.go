@@ -1,11 +1,11 @@
 // Command benchgate is the repo's benchmark regression gate: it re-runs
 // the experiments whose committed BENCH_<ID>.json baselines define the
-// perf trajectory (E1, E7, E16 — the all-pairs BFS, KSP water-filling,
-// and topology-engineering hot paths), measures wall-clock and
-// allocations the same way `cmd/experiments -bench-json` does, and fails
-// if either regresses past a generous tolerance. check.sh (and therefore
-// CI) runs it on every commit, so a kernel regression cannot ship
-// silently.
+// perf trajectory (E1, E7, E16, ES1 — the all-pairs BFS, KSP
+// water-filling, topology-engineering, and sampled fleet-scale hot
+// paths), measures wall-clock and allocations the same way
+// `cmd/experiments -bench-json` does, and fails if either regresses past
+// a generous tolerance. check.sh (and therefore CI) runs it on every
+// commit, so a kernel regression cannot ship silently.
 //
 // Usage:
 //
@@ -21,6 +21,17 @@
 // the one that catches real regressions (a kernel quietly reverting to a
 // pointer-chasing or per-call-allocating path); the wall bound is a
 // backstop for order-of-magnitude slowdowns.
+//
+// Wall-clock is only comparable between runs that had the same
+// parallelism available, so the gate refuses outright — exit 2, not a
+// tolerance verdict — when the current GOMAXPROCS differs from the one
+// the baseline records. A 4-core baseline "gated" on a 1-core runner
+// would either mask a real regression behind honest-looking slowdown or
+// fail spuriously; re-record on matching hardware (-update) or skip
+// (BENCHGATE_SKIP=1) instead. Every verdict table prints the environment
+// (gomaxprocs, num_cpu, baseline date) and the per-sample wall/alloc
+// deltas even when everything passes, so CI logs double as a perf
+// trend record.
 //
 // -update rewrites each baseline atomically (temp file + rename, the
 // same contract as cmd/experiments' artifact writes), so an interrupted
@@ -67,7 +78,7 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	dir := flag.String("dir", ".", "directory holding the BENCH_<ID>.json baselines")
-	ids := flag.String("ids", "E1,E7,E16", "comma-separated experiment IDs to gate")
+	ids := flag.String("ids", "E1,E7,E16,ES1", "comma-separated experiment IDs to gate")
 	reps := flag.Int("reps", 3, "repetitions per point (best wall-clock wins)")
 	update := flag.Bool("update", false, "re-measure and atomically rewrite the baselines instead of gating")
 	wallFactor := flag.Float64("wall-factor", 3.0, "fail when measured wall_ms exceeds baseline × this")
@@ -96,6 +107,17 @@ func run() int {
 				baseline = nil // fresh baseline: measure the default sweep
 			} else {
 				fmt.Fprintf(os.Stderr, "benchgate: %s: %v (run `go run ./scripts/benchgate -update` to create baselines)\n", path, err)
+				return 2
+			}
+		}
+		if baseline != nil && !*update {
+			// Wall times from different parallel envelopes are not
+			// comparable: refuse rather than emit a meaningless verdict.
+			if gmp := runtime.GOMAXPROCS(0); baseline.GoMaxProcs != gmp {
+				fmt.Fprintf(os.Stderr,
+					"benchgate: %s was recorded at GOMAXPROCS=%d (num_cpu %d) but this run has GOMAXPROCS=%d (num_cpu %d);\n"+
+						"benchgate: cross-parallelism wall-clock comparison is meaningless — re-record on matching hardware with `go run ./scripts/benchgate -update`, or set BENCHGATE_SKIP=1\n",
+					path, baseline.GoMaxProcs, baseline.NumCPU, gmp, runtime.NumCPU())
 				return 2
 			}
 		}
@@ -202,13 +224,18 @@ func measure(id string, counts []int, reps int) (*entry, error) {
 	return e, nil
 }
 
-// compare prints one verdict line per (experiment, worker count) and
-// reports whether every measured sample stayed within tolerance of its
-// baseline twin. Worker counts present on only one side are skipped —
-// the sweep is driven by the baseline, so that only happens on a
-// hand-edited file.
+// compare prints the experiment's environment line and a per-worker
+// wall/alloc delta table — always, pass or fail, so every CI log carries
+// the full perf picture — and reports whether every measured sample
+// stayed within tolerance of its baseline twin. Worker counts present on
+// only one side are skipped — the sweep is driven by the baseline, so
+// that only happens on a hand-edited file.
 func compare(id string, baseline, measured *entry, wallFactor, allocFactor float64) bool {
 	ok := true
+	fmt.Printf("benchgate %s: gomaxprocs %d, num_cpu %d (baseline: gomaxprocs %d, num_cpu %d, recorded %s)\n",
+		id, measured.GoMaxProcs, measured.NumCPU, baseline.GoMaxProcs, baseline.NumCPU, baseline.Date)
+	fmt.Printf("  %7s %10s %10s %7s %12s %12s %7s %9s %10s\n",
+		"workers", "wall_ms", "base_ms", "Δwall", "allocs", "base_allocs", "Δalloc", "alloc_mb", "verdict")
 	for _, m := range measured.Samples {
 		var b *sample
 		for i := range baseline.Samples {
@@ -218,7 +245,7 @@ func compare(id string, baseline, measured *entry, wallFactor, allocFactor float
 			}
 		}
 		if b == nil {
-			fmt.Printf("benchgate %s w=%d: no baseline sample, skipped\n", id, m.Workers)
+			fmt.Printf("  %7d: no baseline sample, skipped\n", m.Workers)
 			continue
 		}
 		wallBad := b.WallMS > 0 && m.WallMS > b.WallMS*wallFactor
@@ -228,9 +255,13 @@ func compare(id string, baseline, measured *entry, wallFactor, allocFactor float
 			verdict = "REGRESSION"
 			ok = false
 		}
-		fmt.Printf("benchgate %s w=%d: wall %.1fms vs %.1fms (×%.2f ≤ %.2f) allocs %d vs %d (×%.3f ≤ %.3f) %s\n",
-			id, m.Workers, m.WallMS, b.WallMS, ratio(m.WallMS, b.WallMS), wallFactor,
-			m.Allocs, b.Allocs, ratio(float64(m.Allocs), float64(b.Allocs)), allocFactor, verdict)
+		fmt.Printf("  %7d %10.1f %10.1f %6.2fx %12d %12d %6.3fx %9.1f %10s\n",
+			m.Workers, m.WallMS, b.WallMS, ratio(m.WallMS, b.WallMS),
+			m.Allocs, b.Allocs, ratio(float64(m.Allocs), float64(b.Allocs)),
+			float64(m.AllocBytes)/(1<<20), verdict)
+	}
+	if !ok {
+		fmt.Printf("  tolerance: wall ≤ %.2fx, allocs ≤ %.3fx\n", wallFactor, allocFactor)
 	}
 	return ok
 }

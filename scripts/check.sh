@@ -22,12 +22,17 @@
 # seeds still replay as part of go test above); raise it locally for a
 # deeper soak, e.g. FUZZTIME=30s ./scripts/check.sh.
 #
-# Benchgate: scripts/benchgate re-runs the E1/E7/E16 benchmarks and
+# Benchgate: scripts/benchgate re-runs the E1/E7/E16/ES1 benchmarks and
 # compares wall-clock and allocations against the committed BENCH_*.json
 # baselines (generous tolerance; allocs are the sharp edge). A real,
 # intentional perf change is recorded by committing the output of
 # `go run ./scripts/benchgate -update`. BENCHGATE_SKIP=1 skips the stage
 # on runners too noisy to time anything.
+#
+# E-scale smoke: a full ES1 run (10k-switch fabrics under the sampled
+# all-pairs estimator, DESIGN.md §11) proves the fleet-scale band works
+# end to end — generator, sampling, CLI — on every commit. ESCALE_SKIP=1
+# skips it on memory-starved runners.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -74,6 +79,13 @@ if [ "${BENCHGATE_SKIP:-}" = "1" ]; then
 else
   echo "== benchgate (perf regression gate; BENCHGATE_SKIP=1 to skip)"
   go run ./scripts/benchgate
+fi
+
+if [ "${ESCALE_SKIP:-}" = "1" ]; then
+  echo "== E-scale smoke (skipped: ESCALE_SKIP=1)"
+else
+  echo "== E-scale smoke (ES1, 10k-switch sampled stats; ESCALE_SKIP=1 to skip)"
+  go run ./cmd/experiments -run ES1 >/dev/null
 fi
 
 if [ "$FUZZTIME" != "0" ]; then
