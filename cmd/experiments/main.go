@@ -134,7 +134,10 @@ func run() (exit int) {
 				fmt.Fprint(os.Stderr, snap.RenderTrace())
 			}
 			if *manifestPath != "" {
-				if err := writeJSON(*manifestPath, buildManifest(snap, ctx.Err() != nil)); err != nil {
+				// The manifest itself is built in-memory by the library
+				// (experiments.BuildManifest — the daemon serves the same
+				// structure from /debug/obs); only this CLI sink writes files.
+				if err := writeJSON(*manifestPath, experiments.BuildManifest(snap, ctx.Err() != nil)); err != nil {
 					fail(fmt.Errorf("manifest: %w", err))
 				}
 			}

@@ -1,0 +1,82 @@
+// Command physdepd serves physdep's evaluation pipeline over HTTP+JSON:
+// POST /v1/evaluate, /v1/stats, /v1/whatif against shared frozen
+// topology snapshots, with per-request deadlines, an LRU result cache,
+// and bounded admission. See internal/serve and the README's "Serving"
+// section.
+//
+// Usage:
+//
+//	physdepd [-addr host:port] [-max-inflight n] [-cache n] [-timeout d]
+//
+// The bound address is printed as "listening on <addr>" once the
+// listener is up (use -addr 127.0.0.1:0 to let the kernel pick a free
+// port — scripts/check.sh's smoke stage does). SIGINT/SIGTERM drains
+// in-flight requests and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"physdep/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted uncached evaluations (0 = 2x worker count)")
+	cacheEntries := flag.Int("cache", 0, "result cache entries (0 = default 256)")
+	timeout := flag.Duration("timeout", 0, "server-side cap on per-request deadlines (0 = none)")
+	drain := flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	flag.Parse()
+	if err := run(*addr, *maxInflight, *cacheEntries, *timeout, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "physdepd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxInflight, cacheEntries int, timeout, drain time.Duration) error {
+	srv := serve.New(serve.Config{
+		MaxInFlight:    maxInflight,
+		CacheEntries:   cacheEntries,
+		RequestTimeout: timeout,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Printed after binding so -addr :0 callers can read the real port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("shutting down: draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Println("shutdown complete")
+	return nil
+}

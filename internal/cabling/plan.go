@@ -177,17 +177,17 @@ func (p *Plan) addBundle(cables []int, packing float64) {
 
 // Summary aggregates a plan for reports.
 type Summary struct {
-	Cables       int
-	Bundles      int // multi-cable bundles only
-	Singletons   int
-	TotalLength  units.Meters
-	MeanLength   units.Meters
-	MaxLength    units.Meters
-	MaterialCost units.USD
-	Power        units.Watts
-	ByClass      map[MediaClass]int
-	OpticalFrac  float64 // fraction of cables that are AOC or fiber
-	PeakTrayUtil float64
+	Cables       int                `json:"cables"`
+	Bundles      int                `json:"bundles"` // multi-cable bundles only
+	Singletons   int                `json:"singletons"`
+	TotalLength  units.Meters       `json:"total_length_m"`
+	MeanLength   units.Meters       `json:"mean_length_m"`
+	MaxLength    units.Meters       `json:"max_length_m"`
+	MaterialCost units.USD          `json:"material_cost_usd"`
+	Power        units.Watts        `json:"power_w"`
+	ByClass      map[MediaClass]int `json:"by_class,omitempty"`
+	OpticalFrac  float64            `json:"optical_frac"` // fraction of cables that are AOC or fiber
+	PeakTrayUtil float64            `json:"peak_tray_util"`
 }
 
 // Summarize computes plan-level aggregates.

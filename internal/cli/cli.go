@@ -4,26 +4,28 @@
 package cli
 
 import (
-	"fmt"
-
+	"physdep/internal/physerr"
 	"physdep/internal/topology"
 	"physdep/internal/units"
 )
 
 // TopoParams is the union of generator knobs the CLIs expose. Not every
 // field applies to every family; BuildTopology documents the mapping.
+// The json tags double as the daemon's topology-spec wire format
+// (internal/serve "topo" objects), mirroring the flag names, so a spec
+// that works as physdep flags works as daemon JSON.
 type TopoParams struct {
-	Name   string // topology family
-	K      int    // fat-tree K / fatclique Kf / butterfly dims
-	N      int    // jellyfish N / leaf count / butterfly C
-	Radix  int    // switch radix
-	Net    int    // network ports per ToR (jellyfish R, leaf uplinks)
-	D      int    // xpander D / fatclique Ks / vl2 DA
-	Lift   int    // xpander lift / fatclique Kb / vl2 DI
-	Q      int    // slim fly q
-	Spines int    // leaf-spine spine count
-	Rate   units.Gbps
-	Seed   uint64
+	Name   string     `json:"name"`             // topology family
+	K      int        `json:"k,omitempty"`      // fat-tree K / fatclique Kf / butterfly dims
+	N      int        `json:"n,omitempty"`      // jellyfish N / leaf count / butterfly C
+	Radix  int        `json:"radix,omitempty"`  // switch radix
+	Net    int        `json:"net,omitempty"`    // network ports per ToR (jellyfish R, leaf uplinks)
+	D      int        `json:"d,omitempty"`      // xpander D / fatclique Ks / vl2 DA
+	Lift   int        `json:"lift,omitempty"`   // xpander lift / fatclique Kb / vl2 DI
+	Q      int        `json:"q,omitempty"`      // slim fly q
+	Spines int        `json:"spines,omitempty"` // leaf-spine spine count
+	Rate   units.Gbps `json:"rate,omitempty"`
+	Seed   uint64     `json:"seed,omitempty"`
 }
 
 // Families lists the accepted -topo values.
@@ -40,7 +42,7 @@ func BuildTopology(p TopoParams) (*topology.Topology, error) {
 		return topology.FatTree(topology.FatTreeConfig{K: p.K, Rate: p.Rate})
 	case "leafspine":
 		if p.Spines <= 0 {
-			return nil, fmt.Errorf("cli: leafspine needs -spines > 0")
+			return nil, physerr.OutOfRange("cli: leafspine needs -spines > 0")
 		}
 		return topology.LeafSpine(topology.LeafSpineConfig{
 			Leaves: p.N, Spines: p.Spines, UplinksPerTor: p.Net,
@@ -63,5 +65,7 @@ func BuildTopology(p TopoParams) (*topology.Topology, error) {
 	case "vl2":
 		return topology.VL2(topology.VL2Config{DA: p.D, DI: p.Lift, ServerPorts: p.Radix, Rate: p.Rate})
 	}
-	return nil, fmt.Errorf("cli: unknown topology %q (families: %v)", p.Name, Families())
+	// OutOfRange so the daemon maps a bad family to 422, like every
+	// other invalid-spec error out of the topology constructors.
+	return nil, physerr.OutOfRange("cli: unknown topology %q (families: %v)", p.Name, Families())
 }

@@ -62,43 +62,46 @@ func DefaultInput(t *topology.Topology, hall floorplan.Hall) Input {
 	}
 }
 
-// AbstractStats is the "paper metrics" side of the report.
+// AbstractStats is the "paper metrics" side of the report. The json
+// tags are the daemon's wire names (internal/serve) — stable API, so
+// renaming a Go field must not silently rename the HTTP surface.
 type AbstractStats struct {
-	Switches    int
-	Links       int
-	Servers     int
-	ToRDiameter int
-	ToRMeanHops float64
-	SpectralGap float64
-	BisectionGb float64
+	Switches    int     `json:"switches"`
+	Links       int     `json:"links"`
+	Servers     int     `json:"servers"`
+	ToRDiameter int     `json:"tor_diameter"`
+	ToRMeanHops float64 `json:"tor_mean_hops"`
+	SpectralGap float64 `json:"spectral_gap"`
+	BisectionGb float64 `json:"bisection_gbps"`
 }
 
-// Report is the deployability scorecard.
+// Report is the deployability scorecard. Serialized verbatim by the
+// evaluation daemon's /v1/evaluate; see AbstractStats on the tags.
 type Report struct {
-	Name     string
-	Abstract AbstractStats
+	Name     string        `json:"name"`
+	Abstract AbstractStats `json:"abstract"`
 
 	// Physical build.
-	Cabling       cabling.Summary
-	Bundleability float64 // fraction of cables in ≥4-cable prebuilt bundles
-	CableCapex    units.USD
-	SwitchCapex   units.USD
-	TotalCapex    units.USD
+	Cabling       cabling.Summary `json:"cabling"`
+	Bundleability float64         `json:"bundleability"` // fraction of cables in ≥4-cable prebuilt bundles
+	CableCapex    units.USD       `json:"cable_capex_usd"`
+	SwitchCapex   units.USD       `json:"switch_capex_usd"`
+	TotalCapex    units.USD       `json:"total_capex_usd"`
 
 	// Deployment execution.
-	TimeToDeploy   units.Hours
-	LaborCost      units.USD
-	WalkFraction   float64 // walking share of on-floor labor
-	FirstPassYield float64
-	Reworks        int
-	StrandedCost   units.USD // server capital idle during deployment
+	TimeToDeploy   units.Hours `json:"time_to_deploy_hours"`
+	LaborCost      units.USD   `json:"labor_cost_usd"`
+	WalkFraction   float64     `json:"walk_fraction"` // walking share of on-floor labor
+	FirstPassYield float64     `json:"first_pass_yield"`
+	Reworks        int         `json:"reworks"`
+	StrandedCost   units.USD   `json:"stranded_cost_usd"` // server capital idle during deployment
 
 	// Twin verdict.
-	TwinViolations  int
-	TrayPeakUtil    float64
-	OutOfEnvelope   bool // schema-level violations present
-	DiversityRates  int  // distinct line rates absorbed
-	DiversityRadixs int  // distinct radixes absorbed
+	TwinViolations  int     `json:"twin_violations"`
+	TrayPeakUtil    float64 `json:"tray_peak_util"`
+	OutOfEnvelope   bool    `json:"out_of_envelope"`   // schema-level violations present
+	DiversityRates  int     `json:"diversity_rates"`   // distinct line rates absorbed
+	DiversityRadixs int     `json:"diversity_radixes"` // distinct radixes absorbed
 }
 
 // Validate rejects malformed evaluator inputs: a missing topology or

@@ -1,4 +1,4 @@
-package main
+package experiments
 
 import (
 	"runtime"
@@ -9,13 +9,19 @@ import (
 	"physdep/internal/par"
 )
 
-// manifest is the machine-readable record of one cmd/experiments run: a
+// Manifest is the machine-readable record of one experiments run: a
 // superset of the -bench-json report. Where bench mode records only
 // wall/alloc scaling points, the manifest carries the full observability
 // snapshot — per-experiment spans (with the placement/cabling/deploy
 // phase breakdown from core.Evaluate), kernel counters, per-worker task
 // counts, and the environment the run happened in.
-type manifest struct {
+//
+// Building a Manifest is a pure in-memory distillation of an
+// obs.Snapshot: no sink is implied. cmd/experiments writes it to a file
+// (temp+rename); the evaluation daemon (internal/serve) serves it from
+// memory at /debug/obs and never touches the filesystem — which is why
+// the builder lives here rather than in the CLI.
+type Manifest struct {
 	Date       string `json:"date"`
 	GoVersion  string `json:"go_version"`
 	GOOS       string `json:"goos"`
@@ -23,20 +29,20 @@ type manifest struct {
 	GoMaxProcs int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
 	Workers    int    `json:"workers"`
-	// Interrupted marks a manifest flushed after the run was cut short by
-	// SIGINT/SIGTERM or -timeout: the spans and counters below describe
-	// only the work that finished before the cancellation.
+	// Interrupted marks a manifest distilled after the run was cut short
+	// by SIGINT/SIGTERM or a deadline: the spans and counters below
+	// describe only the work that finished before the cancellation.
 	Interrupted bool `json:"interrupted,omitempty"`
 
-	Experiments []manifestExperiment `json:"experiments"`
+	Experiments []ManifestExperiment `json:"experiments"`
 	Counters    map[string]int64     `json:"counters,omitempty"`
 	Gauges      map[string]float64   `json:"gauges,omitempty"`
 	Spans       []*obs.SpanData      `json:"spans,omitempty"`
 }
 
-// manifestExperiment summarizes one experiment's run, distilled from its
-// "experiment:<ID>" span.
-type manifestExperiment struct {
+// ManifestExperiment summarizes one experiment's run, distilled from
+// its "experiment:<ID>" span.
+type ManifestExperiment struct {
 	ID         string  `json:"id"`
 	OK         bool    `json:"ok"`
 	WallMS     float64 `json:"wall_ms"`
@@ -45,10 +51,10 @@ type manifestExperiment struct {
 	Workers    int64   `json:"workers"`
 }
 
-// buildManifest distills the obs snapshot into the run manifest.
-// interrupted marks a partial run (see manifest.Interrupted).
-func buildManifest(snap obs.Snapshot, interrupted bool) manifest {
-	m := manifest{
+// BuildManifest distills the obs snapshot into the run manifest.
+// interrupted marks a partial run (see Manifest.Interrupted).
+func BuildManifest(snap obs.Snapshot, interrupted bool) Manifest {
+	m := Manifest{
 		Date:        time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
@@ -68,7 +74,7 @@ func buildManifest(snap obs.Snapshot, interrupted bool) manifest {
 		if !ok {
 			continue
 		}
-		m.Experiments = append(m.Experiments, manifestExperiment{
+		m.Experiments = append(m.Experiments, ManifestExperiment{
 			ID:         id,
 			OK:         sp.Attrs["failed"] == 0,
 			WallMS:     float64(sp.DurNS) / 1e6,

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"testing"
+
+	"physdep/internal/obs"
+)
+
+// TestBuildManifestDistillsExperimentSpans: experiment:<ID> spans become
+// Experiments rows (sorted by start offset), everything else stays in
+// the span forest only.
+func TestBuildManifestDistillsExperimentSpans(t *testing.T) {
+	snap := obs.Snapshot{
+		Counters: map[string]int64{"par.tasks": 9},
+		Spans: []*obs.SpanData{
+			{Name: "experiment:E2", StartNS: 50, DurNS: 2e6,
+				Attrs: map[string]int64{"allocs": 10, "workers": 4}},
+			{Name: "experiment:E1", StartNS: 10, DurNS: 3e6,
+				Attrs: map[string]int64{"failed": 1}},
+			{Name: "evaluate:ft", StartNS: 20, DurNS: 1e6},
+		},
+	}
+	m := BuildManifest(snap, true)
+	if !m.Interrupted {
+		t.Fatal("interrupted flag dropped")
+	}
+	if len(m.Experiments) != 2 {
+		t.Fatalf("got %d experiment rows, want 2: %+v", len(m.Experiments), m.Experiments)
+	}
+	if m.Experiments[0].ID != "E1" || m.Experiments[1].ID != "E2" {
+		t.Fatalf("rows not in start order: %+v", m.Experiments)
+	}
+	if m.Experiments[0].OK {
+		t.Fatal("failed=1 span reported OK")
+	}
+	if !m.Experiments[1].OK || m.Experiments[1].WallMS != 2 || m.Experiments[1].Allocs != 10 {
+		t.Fatalf("E2 row distilled wrong: %+v", m.Experiments[1])
+	}
+	if len(m.Spans) != 3 {
+		t.Fatalf("span forest truncated: %d spans", len(m.Spans))
+	}
+	if m.Counters["par.tasks"] != 9 {
+		t.Fatal("counters dropped")
+	}
+	if m.GoMaxProcs <= 0 || m.Workers <= 0 || m.GoVersion == "" {
+		t.Fatalf("environment fields missing: %+v", m)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"slices"
+
+	"physdep/internal/obs"
 )
 
 // Snapshot is an immutable compressed-sparse-row (CSR) view of a graph's
@@ -88,6 +90,10 @@ func (g *Graph) Frozen() bool { return g.snap.Load() != nil }
 func (g *Graph) invalidateSnapshot() { g.snap.Store(nil) }
 
 func (g *Graph) buildSnapshot() *Snapshot {
+	// The build counter is how snapshot sharing is proven, not just
+	// claimed: the evaluation daemon's tests pin "N concurrent requests,
+	// one freeze" on it, and a cache-hit request asserts it stays flat.
+	obs.Inc("graph.freeze.builds")
 	slots := 0
 	for _, row := range g.adj {
 		slots += len(row)

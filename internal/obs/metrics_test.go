@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderMetricsExposition pins the /metrics text format: sanitized
+// sorted names, a TYPE line per metric, counters before gauges.
+func TestRenderMetricsExposition(t *testing.T) {
+	snap := Snapshot{
+		Counters: map[string]int64{
+			"serve.cache.hit":     3,
+			"par.worker.02.tasks": 7,
+			"graph.freeze.builds": 1,
+		},
+		Gauges: map[string]float64{"par.workers": 4},
+	}
+	got := snap.RenderMetrics()
+	want := "# TYPE graph_freeze_builds counter\n" +
+		"graph_freeze_builds 1\n" +
+		"# TYPE par_worker_02_tasks counter\n" +
+		"par_worker_02_tasks 7\n" +
+		"# TYPE serve_cache_hit counter\n" +
+		"serve_cache_hit 3\n" +
+		"# TYPE par_workers gauge\n" +
+		"par_workers 4\n"
+	if got != want {
+		t.Fatalf("RenderMetrics:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestMetricNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"graph.allpairs.ns": "graph_allpairs_ns",
+		"9lives":            "_lives",
+		"ok_name:sub":       "ok_name:sub",
+		"sp ace-dash":       "sp_ace_dash",
+	}
+	for in, want := range cases {
+		if got := metricName(in); got != want {
+			t.Errorf("metricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRenderMetricsEmptySnapshot: no metrics, no output — the daemon
+// serves an empty body rather than inventing placeholder series.
+func TestRenderMetricsEmptySnapshot(t *testing.T) {
+	if got := (Snapshot{}).RenderMetrics(); got != "" {
+		t.Fatalf("empty snapshot rendered %q", got)
+	}
+}
+
+// Sanity: the trace renderer and the metrics renderer agree on which
+// names exist (metrics is counters+gauges only, never spans).
+func TestRenderMetricsSkipsSpans(t *testing.T) {
+	snap := Snapshot{Spans: []*SpanData{{Name: "evaluate:ft"}}}
+	if got := snap.RenderMetrics(); strings.Contains(got, "evaluate") {
+		t.Fatalf("spans leaked into metrics: %q", got)
+	}
+}

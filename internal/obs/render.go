@@ -39,6 +39,44 @@ func (s Snapshot) RenderTrace() string {
 	return b.String()
 }
 
+// RenderMetrics formats the snapshot's counters and gauges in the
+// Prometheus text exposition format (one "# TYPE" line plus a sample per
+// metric, names sanitized to [a-zA-Z0-9_:], sorted — so the output is
+// deterministic and diffable). Spans are not exported here; they belong
+// to the manifest/trace side. The evaluation daemon serves this at
+// /metrics.
+func (s Snapshot) RenderMetrics() string {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		m := metricName(name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := metricName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", m, m, s.Gauges[name])
+	}
+	return b.String()
+}
+
+// metricName maps an obs counter/gauge name onto the Prometheus metric
+// charset: dots (the obs namespace separator) become underscores, as
+// does anything else outside [a-zA-Z0-9_:].
+func metricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
 func renderSpan(b *strings.Builder, sp *SpanData, depth int) {
 	indent := strings.Repeat("  ", depth)
 	fmt.Fprintf(b, "%s%-*s %10s", indent, 46-2*depth, sp.Name, fmtNS(sp.DurNS))

@@ -1,0 +1,87 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGateAdmitsUpToCap(t *testing.T) {
+	g := NewGate(2)
+	if !g.TryEnter() || !g.TryEnter() {
+		t.Fatal("gate refused admission below capacity")
+	}
+	if g.TryEnter() {
+		t.Fatal("gate admitted past capacity")
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	g.Leave()
+	if !g.TryEnter() {
+		t.Fatal("gate refused admission after a Leave freed a slot")
+	}
+	g.Leave()
+	g.Leave()
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after full drain, want 0", got)
+	}
+}
+
+func TestGateClampsCapacity(t *testing.T) {
+	for _, n := range []int{-3, 0} {
+		if got := NewGate(n).Cap(); got != 1 {
+			t.Errorf("NewGate(%d).Cap() = %d, want 1", n, got)
+		}
+	}
+}
+
+func TestGateLeaveWithoutEnterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Leave without TryEnter did not panic")
+		}
+	}()
+	NewGate(1).Leave()
+}
+
+// TestGateConcurrent hammers one gate from many goroutines under -race:
+// the number of concurrently admitted holders must never exceed the
+// capacity, and every admitted holder must complete.
+func TestGateConcurrent(t *testing.T) {
+	const capacity, goroutines, rounds = 4, 32, 200
+	g := NewGate(capacity)
+	var inside, peak, admitted atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if !g.TryEnter() {
+					continue
+				}
+				cur := inside.Add(1)
+				for {
+					old := peak.Load()
+					if cur <= old || peak.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				admitted.Add(1)
+				inside.Add(-1)
+				g.Leave()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > capacity {
+		t.Fatalf("observed %d concurrent holders, capacity %d", peak.Load(), capacity)
+	}
+	if admitted.Load() == 0 {
+		t.Fatal("no goroutine was ever admitted")
+	}
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after all goroutines finished, want 0", got)
+	}
+}

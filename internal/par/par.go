@@ -238,6 +238,51 @@ func countTasks(collect bool, wk, ran int) {
 	obs.Add(fmt.Sprintf("par.worker.%02d.tasks", wk), int64(ran))
 }
 
+// Gate is a bounded admission counter: at most Cap callers hold it at
+// once, and an over-capacity TryEnter fails immediately instead of
+// queueing. It is the admission-control primitive the evaluation daemon
+// (internal/serve) layers over the worker pools — each admitted request
+// fans out through For/Map under the shared Workers() budget, so
+// bounding admissions bounds the number of loops competing for that
+// budget; a burst past the gate's capacity is refused up front (HTTP
+// 429) rather than oversubscribing the pools.
+type Gate struct {
+	cap int64
+	cur atomic.Int64
+}
+
+// NewGate returns a gate admitting at most n concurrent holders; n < 1
+// is clamped to 1 (a gate that admits nobody would deadlock its user).
+func NewGate(n int) *Gate {
+	if n < 1 {
+		n = 1
+	}
+	return &Gate{cap: int64(n)}
+}
+
+// TryEnter claims a slot if one is free and reports whether it did.
+// Every successful TryEnter must be paired with exactly one Leave.
+func (g *Gate) TryEnter() bool {
+	if g.cur.Add(1) > g.cap {
+		g.cur.Add(-1)
+		return false
+	}
+	return true
+}
+
+// Leave releases a slot claimed by a successful TryEnter.
+func (g *Gate) Leave() {
+	if g.cur.Add(-1) < 0 {
+		panic("par: Gate.Leave without a matching TryEnter")
+	}
+}
+
+// InFlight returns the number of slots currently held.
+func (g *Gate) InFlight() int { return int(g.cur.Load()) }
+
+// Cap returns the gate's admission capacity.
+func (g *Gate) Cap() int { return int(g.cap) }
+
 // Map runs fn(i) for i in [0, n) in parallel and returns the results in
 // input order. On error the results are discarded and the lowest failing
 // index's error is returned.

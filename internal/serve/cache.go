@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/json"
+	"sync"
+
+	"physdep/internal/obs"
+)
+
+// cacheKey is the canonical identity of a request: a SHA-256 over the
+// endpoint name plus the canonical JSON encoding of the *normalized*
+// request (defaults applied, deadline knobs zeroed). Two wire bodies
+// that decode to the same normalized request — reordered JSON keys, an
+// omitted field vs its explicit default — share a key; any semantic
+// field change produces a different one (the property test in
+// cache_test.go pins both directions).
+type cacheKey [sha256.Size]byte
+
+// canonicalKey hashes (endpoint, normalized request). Normalized
+// requests are plain structs (no maps), so encoding/json emits their
+// fields in declaration order and the encoding is canonical by
+// construction; the endpoint name keeps equal-shaped requests to
+// different routes from colliding.
+func canonicalKey(endpoint string, normalized any) (cacheKey, error) {
+	b, err := json.Marshal(normalized)
+	if err != nil {
+		return cacheKey{}, err
+	}
+	h := sha256.New()
+	h.Write([]byte(endpoint))
+	h.Write([]byte{0})
+	h.Write(b)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k, nil
+}
+
+// lruCache is a bounded least-recently-used map from cacheKey to a
+// stored value. It is the one cache shape the daemon uses twice: the
+// result cache (value = response bytes) and the topology store
+// (value = built topology). All methods are safe for concurrent use.
+type lruCache[V any] struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *lruEntry[V]
+	items map[cacheKey]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key cacheKey
+	val V
+}
+
+func newLRU[V any](max int) *lruCache[V] {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache[V]{max: max, order: list.New(), items: map[cacheKey]*list.Element{}}
+}
+
+// get returns the cached value for k, refreshing its recency.
+func (c *lruCache[V]) get(k cacheKey) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry[V]).val, true
+}
+
+// add stores v under k (replacing any existing value) and reports
+// whether a least-recently-used entry was evicted to make room.
+func (c *lruCache[V]) add(k cacheKey, v V) (evicted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry[V]).val = v
+		c.order.MoveToFront(el)
+		return false
+	}
+	c.items[k] = c.order.PushFront(&lruEntry[V]{key: k, val: v})
+	if c.order.Len() <= c.max {
+		return false
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	return true
+}
+
+// getOrAdd returns the existing value for k, or stores and returns v if
+// none exists — atomically, so concurrent first users of a key agree on
+// one canonical value (the topology store's single-flight depends on
+// this). evicted reports whether the insert pushed out an LRU entry.
+func (c *lruCache[V]) getOrAdd(k cacheKey, v V) (actual V, loaded, evicted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true, false
+	}
+	c.items[k] = c.order.PushFront(&lruEntry[V]{key: k, val: v})
+	if c.order.Len() <= c.max {
+		return v, false, false
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	delete(c.items, oldest.Value.(*lruEntry[V]).key)
+	return v, false, true
+}
+
+// remove drops k if present and reports whether it was there.
+func (c *lruCache[V]) remove(k cacheKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.items, k)
+	return true
+}
+
+// len returns the current entry count.
+func (c *lruCache[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// resultCache is the daemon's response cache: canonical request hash →
+// the exact bytes a previous request was answered with. A hit is served
+// byte-identically with zero kernel work (the hammer and cache tests
+// assert this through the obs counters below). Only successful (200)
+// responses are stored — a canceled, expired, or failed request must
+// never pin its outcome into the cache.
+type resultCache struct {
+	lru *lruCache[[]byte]
+}
+
+func newResultCache(entries int) *resultCache {
+	return &resultCache{lru: newLRU[[]byte](entries)}
+}
+
+func (c *resultCache) get(k cacheKey) ([]byte, bool) {
+	b, ok := c.lru.get(k)
+	if ok {
+		obs.Inc("serve.cache.hit")
+	} else {
+		obs.Inc("serve.cache.miss")
+	}
+	return b, ok
+}
+
+func (c *resultCache) put(k cacheKey, body []byte) {
+	obs.Inc("serve.cache.store")
+	if c.lru.add(k, body) {
+		obs.Inc("serve.cache.evict")
+	}
+}

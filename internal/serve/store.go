@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"sync"
+
+	"physdep/internal/cli"
+	"physdep/internal/obs"
+	"physdep/internal/topology"
+)
+
+// topoStore shares one built topology — and therefore one frozen CSR
+// graph.Snapshot — per distinct topology spec, across every concurrent
+// request that names it. Loading is per-entry single-flight (the first
+// request builds and freezes; concurrent requests for the same spec
+// block on that one build), and the store itself is a bounded LRU so a
+// scan over thousands of distinct specs cannot grow memory without
+// bound.
+//
+// Entries are never mutated in place: handlers only read the stored
+// topology (evaluation, stats, and what-if trials all work on reads or
+// on clones), which is what makes sharing the frozen snapshot safe. The
+// only "mutation" the daemon offers is invalidate(): the entry is
+// dropped and the next request rebuilds a fresh topology and a fresh
+// snapshot. Requests already holding the old pointer keep reading the
+// old immutable snapshot — exactly the graph.Freeze() contract.
+type topoStore struct {
+	entries *lruCache[*topoEntry]
+}
+
+type topoEntry struct {
+	once sync.Once
+	topo *topology.Topology
+	err  error
+}
+
+func newTopoStore(entries int) *topoStore {
+	return &topoStore{entries: newLRU[*topoEntry](entries)}
+}
+
+// specKey returns the canonical identity of a topology spec. Seed and
+// rate participate: two Jellyfish specs differing only in seed are
+// different fabrics.
+func specKey(spec cli.TopoParams) (cacheKey, error) {
+	return canonicalKey("topo", spec)
+}
+
+// load returns the shared topology for spec, building and freezing it
+// on first use.
+func (st *topoStore) load(spec cli.TopoParams) (*topology.Topology, error) {
+	k, err := specKey(spec)
+	if err != nil {
+		return nil, err
+	}
+	// getOrAdd makes concurrent first requests agree on one entry, whose
+	// once.Do makes the build-and-freeze single-flight: the shared
+	// snapshot is built exactly once no matter how many requests race in.
+	e, _, _ := st.entries.getOrAdd(k, &topoEntry{})
+	e.once.Do(func() {
+		obs.Inc("serve.store.build")
+		e.topo, e.err = cli.BuildTopology(spec)
+		if e.err == nil {
+			// Freeze eagerly: the shared snapshot is built exactly once per
+			// loaded topology, outside any request's timed kernel work.
+			e.topo.Freeze()
+		}
+	})
+	if e.err != nil {
+		// A spec that failed to build stays cached only as its error —
+		// drop it so a transient failure can't wedge the key forever.
+		st.entries.remove(k)
+		return nil, e.err
+	}
+	return e.topo, nil
+}
+
+// invalidate drops the cached topology for spec, reporting whether it
+// was loaded. The next load builds a fresh topology and snapshot.
+func (st *topoStore) invalidate(spec cli.TopoParams) (bool, error) {
+	k, err := specKey(spec)
+	if err != nil {
+		return false, err
+	}
+	dropped := st.entries.remove(k)
+	if dropped {
+		obs.Inc("serve.store.invalidate")
+	}
+	return dropped, nil
+}

@@ -151,22 +151,23 @@ func (t *Topology) FreePorts(id int) int {
 // Stats bundles the abstract "goodness" numbers research papers report —
 // the properties the paper says must be weighed against physical cost.
 type Stats struct {
-	Switches  int
-	Links     int
-	Servers   int
-	ToRDiam   int     // diameter over ToR pairs (lower bound when sampled)
-	ToRMean   float64 // mean ToR-to-ToR hop count
-	BisectGB  float64 // heuristic bisection capacity (Gbps)
-	Expansion float64 // spectral gap estimate, if computed (else 0)
+	Switches  int     `json:"switches"`
+	Links     int     `json:"links"`
+	Servers   int     `json:"servers"`
+	ToRDiam   int     `json:"tor_diameter"`        // diameter over ToR pairs (lower bound when sampled)
+	ToRMean   float64 `json:"tor_mean_hops"`       // mean ToR-to-ToR hop count
+	BisectGB  float64 `json:"bisection_gbps"`      // heuristic bisection capacity (Gbps)
+	Expansion float64 `json:"expansion,omitempty"` // spectral gap estimate, if computed (else 0)
 	// Path-stat provenance: PathsExact reports whether the ToR sweep was
 	// exhaustive (every fabric at or under graph.DefaultExhaustiveBelow
 	// ToRs — the whole classic experiment band — stays exact).
 	// PathSources is the number of BFS sources swept, and ToRMeanCI the
 	// sampled estimator's 95% half-width on ToRMean (0 when exact). See
-	// DESIGN.md §11 for the estimator contract.
-	PathsExact  bool
-	PathSources int
-	ToRMeanCI   float64
+	// DESIGN.md §11 for the estimator contract. The json tags are the
+	// daemon's /v1/stats wire names.
+	PathsExact  bool    `json:"paths_exact"`
+	PathSources int     `json:"path_sources"`
+	ToRMeanCI   float64 `json:"tor_mean_ci"`
 }
 
 // statsSampleSeed fixes the BFS source sample of every BasicStats call:

@@ -1,19 +1,22 @@
 package trafficsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
+	"physdep/internal/physerr"
 	"physdep/internal/topology"
 )
 
 // DegradationPoint is the throughput of a fabric after losing a fraction
 // of its links, averaged over failure samples.
+// The json tags are the daemon's /v1/whatif wire names.
 type DegradationPoint struct {
-	FailFrac     float64
-	MeanAlpha    float64
-	MinAlpha     float64
-	Disconnected int // trials where some ToR pair became unreachable
+	FailFrac     float64 `json:"fail_frac"`
+	MeanAlpha    float64 `json:"mean_alpha"`
+	MinAlpha     float64 `json:"min_alpha"`
+	Disconnected int     `json:"disconnected"` // trials where some ToR pair became unreachable
 }
 
 // FailureDegradation removes ⌈frac·links⌉ uniformly random links, reruns
@@ -23,9 +26,22 @@ type DegradationPoint struct {
 // set disconnects score α = 0 and are counted.
 func FailureDegradation(t *topology.Topology, m Matrix, fracs []float64,
 	trials int, useKSP bool, seed uint64) ([]DegradationPoint, error) {
+	return FailureDegradationCtx(context.Background(), t, m, fracs, trials, useKSP, seed)
+}
+
+// FailureDegradationCtx is FailureDegradation with cancellation: the
+// context is polled before each trial is started (hand-out semantics,
+// DESIGN.md §9 — a trial in flight runs to completion) and threads into
+// the KSP water-fill, so a deadline interrupts a long sweep mid-frac.
+// Each trial reseeds from (seed, trial) alone, so a completed run is
+// byte-identical to the context-free path. A canceled run returns nil
+// points and an error matching physerr.ErrCanceled.
+func FailureDegradationCtx(ctx context.Context, t *topology.Topology, m Matrix,
+	fracs []float64, trials int, useKSP bool, seed uint64) ([]DegradationPoint, error) {
 	if trials < 1 {
 		return nil, fmt.Errorf("trafficsim: trials must be >= 1")
 	}
+	cancellable := ctx.Done() != nil
 	var live []int
 	for _, e := range t.Edges {
 		if e.U != -1 {
@@ -40,6 +56,11 @@ func FailureDegradation(t *topology.Topology, m Matrix, fracs []float64,
 		kill := int(frac*float64(len(live)) + 0.5)
 		pt := DegradationPoint{FailFrac: frac, MinAlpha: -1}
 		for trial := 0; trial < trials; trial++ {
+			if cancellable {
+				if err := ctx.Err(); err != nil {
+					return nil, physerr.Canceled(err)
+				}
+			}
 			rng := rand.New(rand.NewPCG(seed, uint64(trial)<<16|uint64(kill)))
 			c := t.CloneTopology()
 			perm := rng.Perm(len(live))
@@ -50,7 +71,7 @@ func FailureDegradation(t *topology.Topology, m Matrix, fracs []float64,
 			if torsConnected(c) {
 				var err error
 				if useKSP {
-					alpha, err = KSPThroughput(c, m, DefaultKSP())
+					alpha, err = KSPThroughputCtx(ctx, c, m, DefaultKSP())
 				} else {
 					alpha, err = ECMPThroughput(c, m)
 				}

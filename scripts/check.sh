@@ -74,6 +74,35 @@ fi
 grep -q 'run canceled' "$tmp/cancel.err"
 grep -q '"interrupted": true' "$tmp/cancel-manifest.json"
 
+echo "== daemon smoke (physdepd: healthz, evaluate round-trip, graceful drain)"
+# Boot the daemon on a kernel-chosen port, health-check it, round-trip
+# one evaluation twice (the replay must be a cache hit), then SIGTERM:
+# the process must drain and exit 0 — the README's documented lifecycle.
+go build -o "$tmp/physdepd" ./cmd/physdepd
+"$tmp/physdepd" -addr 127.0.0.1:0 >"$tmp/daemon.log" 2>&1 &
+daemon_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^listening on //p' "$tmp/daemon.log")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "daemon smoke: physdepd never reported its address" >&2
+  cat "$tmp/daemon.log" >&2
+  exit 1
+fi
+stats_req='{"topo":{"name":"jellyfish","n":16,"radix":8,"net":4,"rate":100,"seed":7}}'
+curl -fsS "http://$addr/healthz" | grep -q '"status":"ok"'
+curl -fsS -X POST -d "$stats_req" "http://$addr/v1/stats" | grep -q '"switches":16'
+curl -fsS -D "$tmp/daemon-replay-hdr" -X POST -d "$stats_req" \
+  "http://$addr/v1/stats" >/dev/null
+grep -qi '^x-physdepd-cache: hit' "$tmp/daemon-replay-hdr"
+curl -fsS "http://$addr/metrics" | grep -q '^serve_cache_hit 1$'
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+grep -q 'shutdown complete' "$tmp/daemon.log"
+
 if [ "${BENCHGATE_SKIP:-}" = "1" ]; then
   echo "== benchgate (skipped: BENCHGATE_SKIP=1)"
 else
