@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	physdepd [-addr host:port] [-max-inflight n] [-cache n] [-timeout d]
+//	physdepd [-addr host:port] [-max-inflight n] [-cache n] [-cache-persist file] [-timeout d]
 //
 // The bound address is printed as "listening on <addr>" once the
 // listener is up (use -addr 127.0.0.1:0 to let the kernel pick a free
@@ -33,21 +33,31 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted uncached evaluations (0 = 2x worker count)")
 	cacheEntries := flag.Int("cache", 0, "result cache entries (0 = default 256)")
+	cachePersist := flag.String("cache-persist", "", "persist the result cache to this file: loaded at startup, written temp+rename on graceful shutdown")
 	timeout := flag.Duration("timeout", 0, "server-side cap on per-request deadlines (0 = none)")
 	drain := flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
 	flag.Parse()
-	if err := run(*addr, *maxInflight, *cacheEntries, *timeout, *drain); err != nil {
+	if err := run(*addr, *maxInflight, *cacheEntries, *cachePersist, *timeout, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "physdepd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxInflight, cacheEntries int, timeout, drain time.Duration) error {
+func run(addr string, maxInflight, cacheEntries int, persist string, timeout, drain time.Duration) error {
 	srv := serve.New(serve.Config{
 		MaxInFlight:    maxInflight,
 		CacheEntries:   cacheEntries,
 		RequestTimeout: timeout,
 	})
+	if persist != "" {
+		// Warm start is best-effort: a missing file is a cold start (0
+		// entries), a broken one costs the warm start but never the boot.
+		if n, err := srv.LoadCache(persist); err != nil {
+			fmt.Fprintln(os.Stderr, "physdepd: cache warm-start skipped:", err)
+		} else {
+			fmt.Printf("cache warm-start: %d entries\n", n)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -76,6 +86,16 @@ func run(addr string, maxInflight, cacheEntries int, timeout, drain time.Duratio
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if persist != "" {
+		// Persist after the drain so the snapshot includes everything the
+		// last in-flight requests cached; the restarted daemon answers the
+		// working set as byte-identical hits.
+		n, err := srv.SaveCache(persist)
+		if err != nil {
+			return fmt.Errorf("cache persist: %w", err)
+		}
+		fmt.Printf("cache persisted: %d entries\n", n)
 	}
 	fmt.Println("shutdown complete")
 	return nil

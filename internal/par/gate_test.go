@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"physdep/internal/obs"
 )
 
 func TestGateAdmitsUpToCap(t *testing.T) {
@@ -43,6 +45,45 @@ func TestGateLeaveWithoutEnterPanics(t *testing.T) {
 		}
 	}()
 	NewGate(1).Leave()
+}
+
+// TestGateLeaveUnderflowClampsAndCounts: an unpaired Leave still
+// panics, but the panic must not poison the gate — callers that recover
+// (net/http recovers handler panics) keep a gate that admits exactly
+// Cap holders, and the underflow is visible as par.gate.underflow.
+func TestGateLeaveUnderflowClampsAndCounts(t *testing.T) {
+	obs.Enable()
+	g := NewGate(2)
+	if !g.TryEnter() {
+		t.Fatal("TryEnter refused below capacity")
+	}
+	g.Leave()
+
+	before := obs.TakeSnapshot()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("unpaired Leave did not panic")
+			}
+		}()
+		g.Leave()
+	}()
+	after := obs.TakeSnapshot()
+	if d := after.Counters["par.gate.underflow"] - before.Counters["par.gate.underflow"]; d != 1 {
+		t.Fatalf("par.gate.underflow delta = %d, want 1", d)
+	}
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after recovered underflow, want 0 (counter poisoned)", got)
+	}
+	// The capacity bound survived: exactly Cap admissions, no more.
+	if !g.TryEnter() || !g.TryEnter() {
+		t.Fatal("gate lost capacity after a recovered underflow")
+	}
+	if g.TryEnter() {
+		t.Fatal("gate over-admits after a recovered underflow")
+	}
+	g.Leave()
+	g.Leave()
 }
 
 // TestGateConcurrent hammers one gate from many goroutines under -race:

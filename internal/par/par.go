@@ -270,9 +270,16 @@ func (g *Gate) TryEnter() bool {
 	return true
 }
 
-// Leave releases a slot claimed by a successful TryEnter.
+// Leave releases a slot claimed by a successful TryEnter. An unpaired
+// Leave panics — but only after restoring the counter: the daemon's
+// HTTP layer recovers handler panics, so a decrement left in place
+// would hold the count negative and quietly admit more than Cap
+// concurrent holders from then on. The clamp keeps the gate's bound
+// intact and par.gate.underflow makes the bug visible in /metrics.
 func (g *Gate) Leave() {
 	if g.cur.Add(-1) < 0 {
+		g.cur.Add(1)
+		obs.Inc("par.gate.underflow")
 		panic("par: Gate.Leave without a matching TryEnter")
 	}
 }

@@ -114,6 +114,40 @@ func (c *lruCache[V]) getOrAdd(k cacheKey, v V) (actual V, loaded, evicted bool)
 	return v, false, true
 }
 
+// removeIf drops k only if match approves the value currently stored
+// under it, reporting whether it did — the identity-guarded removal the
+// topology store's failure path needs (topoStore.dropFailed): key
+// equality alone cannot distinguish a stale failed entry from a healthy
+// one rebuilt under the same key.
+func (c *lruCache[V]) removeIf(k cacheKey, match func(V) bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok || !match(el.Value.(*lruEntry[V]).val) {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.items, k)
+	return true
+}
+
+// snapshotOldestFirst returns the cache's keys and values ordered least
+// recently used first, so replaying them through add() in order
+// reproduces both the contents and the recency order — the persistence
+// round-trip (persist.go) depends on this.
+func (c *lruCache[V]) snapshotOldestFirst() ([]cacheKey, []V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]cacheKey, 0, c.order.Len())
+	vals := make([]V, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		ent := el.Value.(*lruEntry[V])
+		keys = append(keys, ent.key)
+		vals = append(vals, ent.val)
+	}
+	return keys, vals
+}
+
 // remove drops k if present and reports whether it was there.
 func (c *lruCache[V]) remove(k cacheKey) bool {
 	c.mu.Lock()

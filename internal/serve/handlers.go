@@ -153,32 +153,22 @@ func statusFor(err error) int {
 	}
 }
 
-// serveCached answers a request from the result cache or computes,
-// caches, and answers — the one path every /v1 evaluation route goes
-// through. The cache is consulted before admission (a hit does zero
-// kernel work, so it cannot oversubscribe anything); the gate bounds
-// only admitted compute. compute receives the request context, already
-// capped by the server and per-request deadlines, and its successful
-// response value is marshaled once — those exact bytes are what the
-// cache stores and every later hit re-serves, keeping hit and miss
-// responses byte-identical.
+// serveCached answers a request from the result cache, from an
+// identical in-flight computation, or by computing — the one path every
+// /v1 evaluation route goes through. The cache is consulted before
+// anything else (a hit does zero kernel work, so it owes no admission
+// slot and no flight); an identical request already computing makes
+// this one a follower that blocks and re-serves the leader's exact
+// bytes (serve.cache.coalesced); otherwise this request leads the
+// flight itself. The request's stacked deadlines (server -timeout and
+// client timeout_ms, earliest wins) are built once up front so a
+// follower's wait is bounded exactly like its own computation would
+// have been: a follower whose deadline expires gets its own 504 and
+// leaves the leader running. A leader that fails, is canceled, or is
+// refused admission releases its followers to retry fresh — its
+// outcome is never pinned onto them or into the cache.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key cacheKey,
 	timeoutMS int64, compute func(ctx context.Context) (any, error)) {
-	if body, ok := s.cache.get(key); ok {
-		writeJSONBody(w, body, "hit")
-		return
-	}
-	if !s.gate.TryEnter() {
-		obs.Inc("serve.admission.rejected")
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("overloaded: %d evaluations in flight (capacity %d); retry shortly",
-				s.gate.InFlight(), s.gate.Cap()))
-		return
-	}
-	defer s.gate.Leave()
-	obs.MaxGauge("serve.inflight.peak", float64(s.gate.InFlight()))
-
 	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
@@ -190,6 +180,71 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key cacheKe
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(timeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+
+	for {
+		if body, ok := s.cache.get(key); ok {
+			writeJSONBody(w, body, "hit")
+			return
+		}
+		f, leader := s.flights.begin(key)
+		if leader {
+			s.serveAsLeader(w, ctx, key, f, compute)
+			return
+		}
+		// Follower: the leader is computing these exact bytes right now.
+		select {
+		case <-f.done:
+			if f.body != nil {
+				obs.Inc("serve.cache.coalesced")
+				writeJSONBody(w, f.body, "coalesced")
+				return
+			}
+			// The leader produced no response. Loop: the cache may have been
+			// populated by a later flight, or this request becomes the new
+			// leader and computes under its own context.
+			continue
+		case <-ctx.Done():
+			if err := ctx.Err(); errors.Is(err, context.DeadlineExceeded) {
+				obs.Inc("serve.request.deadline")
+				writeError(w, http.StatusGatewayTimeout,
+					fmt.Errorf("deadline expired while coalesced behind an identical in-flight request: %w", err))
+			} else {
+				obs.Inc("serve.request.canceled")
+				writeError(w, StatusClientClosedRequest, err)
+			}
+			return
+		}
+	}
+}
+
+// serveAsLeader runs the computation this request leads. Only the
+// leader occupies an admission slot — N coalesced requests cost one
+// unit of kernel work, so they owe one slot between them. The
+// successful response value is marshaled once; those exact bytes go to
+// the cache, to every follower, and onto this request's wire, keeping
+// miss, coalesced, and hit responses byte-identical.
+func (s *Server) serveAsLeader(w http.ResponseWriter, ctx context.Context, key cacheKey,
+	f *flight, compute func(ctx context.Context) (any, error)) {
+	// The flight must complete on every exit path — error, panic
+	// (net/http recovers handler panics), admission refusal — or the
+	// followers would wait on a leader that is never coming back.
+	completed := false
+	defer func() {
+		if !completed {
+			s.flights.finish(key, f, nil)
+		}
+	}()
+
+	if !s.gate.TryEnter() {
+		obs.Inc("serve.admission.rejected")
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("overloaded: %d evaluations in flight (capacity %d); retry shortly",
+				s.gate.InFlight(), s.gate.Cap()))
+		return
+	}
+	defer s.gate.Leave()
+	obs.MaxGauge("serve.inflight.peak", float64(s.gate.InFlight()))
 
 	resp, err := compute(ctx)
 	if err != nil {
@@ -212,13 +267,19 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key cacheKe
 	}
 	body = append(body, '\n')
 	s.cache.put(key, body)
+	s.flights.finish(key, f, body)
+	completed = true
 	writeJSONBody(w, body, "miss")
 }
 
 func writeJSONBody(w http.ResponseWriter, body []byte, cacheState string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Physdepd-Cache", cacheState)
-	w.Write(body)
+	if _, err := w.Write(body); err != nil {
+		// The connection broke mid-write: the client saw a truncated
+		// response and /metrics is the only place that will ever show it.
+		obs.Inc("serve.write.error")
+	}
 }
 
 // normalizeEvaluate validates an evaluate request and fills defaults so

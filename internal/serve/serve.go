@@ -72,15 +72,16 @@ func (c Config) withDefaults() Config {
 }
 
 // Server is the daemon state shared across requests: the result cache,
-// the topology store, and the admission gate. Create with New; serve
-// its Handler with net/http.
+// the in-flight coalescing table, the topology store, and the admission
+// gate. Create with New; serve its Handler with net/http.
 type Server struct {
-	cfg   Config
-	gate  *par.Gate
-	cache *resultCache
-	store *topoStore
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	gate    *par.Gate
+	cache   *resultCache
+	flights *flightTable
+	store   *topoStore
+	mux     *http.ServeMux
+	start   time.Time
 }
 
 // New builds a Server. Observability collection is enabled as a side
@@ -91,11 +92,12 @@ func New(cfg Config) *Server {
 	obs.Enable()
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		gate:  par.NewGate(cfg.MaxInFlight),
-		cache: newResultCache(cfg.CacheEntries),
-		store: newTopoStore(cfg.StoreEntries),
-		start: time.Now(),
+		cfg:     cfg,
+		gate:    par.NewGate(cfg.MaxInFlight),
+		cache:   newResultCache(cfg.CacheEntries),
+		flights: newFlightTable(),
+		store:   newTopoStore(cfg.StoreEntries),
+		start:   time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)

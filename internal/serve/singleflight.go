@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"physdep/internal/obs"
+)
+
+// flight is one in-progress computation of a cache key. The first miss
+// for a key becomes the flight's leader and computes; every concurrent
+// identical miss becomes a follower that blocks on done and re-serves
+// the leader's exact bytes. body is written exactly once, before done
+// is closed, so readers that return from <-done observe it without
+// further synchronization. A nil body means the leader did not produce
+// a response (it failed, was canceled, or was refused admission) —
+// followers must then retry on their own rather than inherit the
+// leader's outcome (its deadline, its disconnect, its 429 are facts
+// about that request, not about the key).
+type flight struct {
+	done    chan struct{}
+	body    []byte
+	waiters atomic.Int64 // followers that joined this flight (peak gauge + test seam)
+}
+
+// flightTable is the daemon's per-key in-flight index: the same shape
+// as topoStore's getOrAdd+once single-flight, but for response bytes
+// rather than built topologies, and with explicit failure release —
+// a topoEntry memoizes its error until evicted, a flight never does.
+type flightTable struct {
+	mu       sync.Mutex
+	inflight map[cacheKey]*flight
+}
+
+func newFlightTable() *flightTable {
+	return &flightTable{inflight: map[cacheKey]*flight{}}
+}
+
+// begin claims the flight for k. The caller that creates the flight is
+// its leader (leader == true) and must eventually call finish, even on
+// failure — a leader that never finishes would park its followers until
+// their deadlines. Every other caller gets the existing flight to wait
+// on.
+func (t *flightTable) begin(k cacheKey) (f *flight, leader bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if f, ok := t.inflight[k]; ok {
+		obs.MaxGauge("serve.flight.waiters.peak", float64(f.waiters.Add(1)))
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	t.inflight[k] = f
+	return f, true
+}
+
+// finish completes f: the flight is dropped from the table first, so a
+// request arriving after completion starts fresh (and finds the cache
+// already populated on the success path), then followers are released
+// with body — the exact bytes the leader was answered with, or nil if
+// the leader produced none.
+func (t *flightTable) finish(k cacheKey, f *flight, body []byte) {
+	t.mu.Lock()
+	if t.inflight[k] == f {
+		delete(t.inflight, k)
+	}
+	t.mu.Unlock()
+	f.body = body
+	close(f.done)
+}
+
+// waiting reports how many followers have joined k's current flight
+// (0 if none is in progress). Tests use it to park a known number of
+// followers behind a blocked leader before releasing the build.
+func (t *flightTable) waiting(k cacheKey) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, ok := t.inflight[k]
+	if !ok {
+		return 0
+	}
+	return f.waiters.Load()
+}

@@ -25,6 +25,9 @@ import (
 // old immutable snapshot — exactly the graph.Freeze() contract.
 type topoStore struct {
 	entries *lruCache[*topoEntry]
+	// build is cli.BuildTopology in production; tests swap in failing or
+	// blocking builders to drive the failure-path and eviction races.
+	build func(cli.TopoParams) (*topology.Topology, error)
 }
 
 type topoEntry struct {
@@ -34,7 +37,10 @@ type topoEntry struct {
 }
 
 func newTopoStore(entries int) *topoStore {
-	return &topoStore{entries: newLRU[*topoEntry](entries)}
+	return &topoStore{
+		entries: newLRU[*topoEntry](entries),
+		build:   cli.BuildTopology,
+	}
 }
 
 // specKey returns the canonical identity of a topology spec. Seed and
@@ -57,7 +63,7 @@ func (st *topoStore) load(spec cli.TopoParams) (*topology.Topology, error) {
 	e, _, _ := st.entries.getOrAdd(k, &topoEntry{})
 	e.once.Do(func() {
 		obs.Inc("serve.store.build")
-		e.topo, e.err = cli.BuildTopology(spec)
+		e.topo, e.err = st.build(spec)
 		if e.err == nil {
 			// Freeze eagerly: the shared snapshot is built exactly once per
 			// loaded topology, outside any request's timed kernel work.
@@ -65,12 +71,23 @@ func (st *topoStore) load(spec cli.TopoParams) (*topology.Topology, error) {
 		}
 	})
 	if e.err != nil {
-		// A spec that failed to build stays cached only as its error —
-		// drop it so a transient failure can't wedge the key forever.
-		st.entries.remove(k)
+		// Drop the failed entry so a transient failure can't wedge the key
+		// forever — but drop it by identity, not by key: by the time a
+		// request that observed the failure gets here, a racing request may
+		// have already removed this entry and rebuilt a *healthy* one under
+		// the same key, and an unconditional remove would delete it.
+		st.dropFailed(k, e)
 		return nil, e.err
 	}
 	return e.topo, nil
+}
+
+// dropFailed removes key k only while it still holds the failed entry e
+// (pointer identity), reporting whether it did. Stale removals — a
+// request still holding an old failed entry after the key was rebuilt —
+// are no-ops.
+func (st *topoStore) dropFailed(k cacheKey, e *topoEntry) bool {
+	return st.entries.removeIf(k, func(cur *topoEntry) bool { return cur == e })
 }
 
 // invalidate drops the cached topology for spec, reporting whether it

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"physdep/internal/cli"
+	"physdep/internal/obs"
+	"physdep/internal/physerr"
+	"physdep/internal/topology"
+)
+
+func specFor(t *testing.T, topoJSON string) cli.TopoParams {
+	t.Helper()
+	var p cli.TopoParams
+	if err := json.Unmarshal([]byte(topoJSON), &p); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestStoreDropFailedByIdentity is the regression test for the
+// failure-path race: a request that observed a failed entry must only
+// ever remove *that* entry — a stale removal arriving after a racing
+// request rebuilt a healthy entry under the same key is a no-op.
+func TestStoreDropFailedByIdentity(t *testing.T) {
+	st := newTopoStore(4)
+	var calls atomic.Int64
+	st.build = func(spec cli.TopoParams) (*topology.Topology, error) {
+		if calls.Add(1) == 1 {
+			return nil, physerr.OutOfRange("injected: transient first-build failure")
+		}
+		return cli.BuildTopology(spec)
+	}
+	spec := specFor(t, smallTopo)
+	k, err := specKey(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := st.load(spec); err == nil {
+		t.Fatal("first load did not surface the injected failure")
+	}
+	healthy, err := st.load(spec)
+	if err != nil {
+		t.Fatalf("rebuild after transient failure: %v", err)
+	}
+
+	// The race's stale actor: a request still holding the old failed
+	// entry fires its removal after the healthy rebuild.
+	stale := &topoEntry{err: physerr.OutOfRange("stale failed entry")}
+	if st.dropFailed(k, stale) {
+		t.Fatal("dropFailed removed a healthy entry on key match alone")
+	}
+	got, err := st.load(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != healthy {
+		t.Fatal("healthy entry was lost: load rebuilt instead of returning the cached topology")
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("build calls = %d, want 2 (the stale removal must not force a rebuild)", n)
+	}
+}
+
+// TestStoreFailOnceThenSucceedsConcurrent hammers the failure path
+// under -race: with a builder that fails exactly once, every concurrent
+// loader converges on one shared healthy topology and the store settles
+// with exactly two builds — the failure and the one fresh success
+// (identity removal means the healthy entry can never be deleted by a
+// stale failure observer).
+func TestStoreFailOnceThenSucceedsConcurrent(t *testing.T) {
+	st := newTopoStore(4)
+	var calls atomic.Int64
+	st.build = func(spec cli.TopoParams) (*topology.Topology, error) {
+		if calls.Add(1) == 1 {
+			return nil, physerr.OutOfRange("injected: transient first-build failure")
+		}
+		return cli.BuildTopology(spec)
+	}
+	spec := specFor(t, smallTopo)
+
+	const n = 16
+	got := make([]*topology.Topology, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				topo, err := st.load(spec)
+				if err == nil {
+					got[i] = topo
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("loader %d got a different topology than loader 0", i)
+		}
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("build calls = %d, want exactly 2 (1 failure + 1 shared success)", n)
+	}
+	if topo, err := st.load(spec); err != nil || topo != got[0] {
+		t.Fatalf("post-convergence load rebuilt or failed (err %v)", err)
+	}
+}
+
+// TestStoreEvictMidBuildCompletesAndRebuilds: LRU-evicting a topoEntry
+// whose build is still in flight must not break anyone — the evicted
+// entry's once.Do still completes for the request holding it, and the
+// next load of that spec rebuilds cleanly. The store-build and
+// snapshot-freeze counters pin the exact work: three builds, three
+// freezes (A, B, A-again).
+func TestStoreEvictMidBuildCompletesAndRebuilds(t *testing.T) {
+	obs.Enable()
+	specA := specFor(t, smallTopo)
+	specB := specA
+	specB.Seed = 99
+
+	st := newTopoStore(1) // capacity 1: loading B evicts A
+	release := make(chan struct{})
+	started := make(chan struct{})
+	st.build = func(spec cli.TopoParams) (*topology.Topology, error) {
+		if spec == specA {
+			select {
+			case <-started: // already signaled: the post-eviction rebuild
+			default:
+				close(started)
+				<-release
+			}
+		}
+		return cli.BuildTopology(spec)
+	}
+
+	before := obs.TakeSnapshot()
+	type result struct {
+		topo *topology.Topology
+		err  error
+	}
+	holderDone := make(chan result, 1)
+	go func() {
+		topo, err := st.load(specA)
+		holderDone <- result{topo, err}
+	}()
+	<-started // A's build is in flight
+
+	if _, err := st.load(specB); err != nil { // evicts A's mid-build entry
+		t.Fatalf("load B: %v", err)
+	}
+	if st.entries.len() != 1 {
+		t.Fatalf("store holds %d entries, want 1 (B evicted mid-build A)", st.entries.len())
+	}
+
+	close(release)
+	res := <-holderDone
+	if res.err != nil {
+		t.Fatalf("evicted holder's build failed: %v", res.err)
+	}
+	if len(res.topo.ToRs()) == 0 {
+		t.Fatal("evicted holder got an unusable topology")
+	}
+
+	rebuilt, err := st.load(specA)
+	if err != nil {
+		t.Fatalf("rebuild of evicted spec: %v", err)
+	}
+	if rebuilt == res.topo {
+		t.Fatal("load after eviction returned the evicted instance instead of rebuilding")
+	}
+	after := obs.TakeSnapshot()
+	if d := counterDelta(before, after, "serve.store.build"); d != 3 {
+		t.Fatalf("serve.store.build delta = %d, want 3 (A, B, A rebuilt)", d)
+	}
+	if d := counterDelta(before, after, "graph.freeze.builds"); d != 3 {
+		t.Fatalf("graph.freeze.builds delta = %d, want 3 (each build freezes once)", d)
+	}
+}

@@ -74,34 +74,59 @@ fi
 grep -q 'run canceled' "$tmp/cancel.err"
 grep -q '"interrupted": true' "$tmp/cancel-manifest.json"
 
-echo "== daemon smoke (physdepd: healthz, evaluate round-trip, graceful drain)"
-# Boot the daemon on a kernel-chosen port, health-check it, round-trip
-# one evaluation twice (the replay must be a cache hit), then SIGTERM:
-# the process must drain and exit 0 — the README's documented lifecycle.
+echo "== daemon smoke (physdepd: healthz, round-trip, graceful drain, warm start)"
+# Boot the daemon on a kernel-chosen port with a persist file,
+# health-check it, round-trip one evaluation twice (the replay must be a
+# cache hit), then SIGTERM: the process must drain, persist its cache,
+# and exit 0. Then restart against the persisted file: the first
+# replayed request must be a byte-identical cache hit with zero kernel
+# work (no serve_store_build metric at all) — the README's documented
+# warm-start lifecycle.
 go build -o "$tmp/physdepd" ./cmd/physdepd
-"$tmp/physdepd" -addr 127.0.0.1:0 >"$tmp/daemon.log" 2>&1 &
-daemon_pid=$!
-addr=""
-for _ in $(seq 1 100); do
-  addr="$(sed -n 's/^listening on //p' "$tmp/daemon.log")"
-  [ -n "$addr" ] && break
-  sleep 0.1
-done
-if [ -z "$addr" ]; then
-  echo "daemon smoke: physdepd never reported its address" >&2
-  cat "$tmp/daemon.log" >&2
-  exit 1
-fi
+start_daemon() { # $1 = log file
+  "$tmp/physdepd" -addr 127.0.0.1:0 -cache-persist "$tmp/cache.snap" >"$1" 2>&1 &
+  daemon_pid=$!
+  addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$1")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "daemon smoke: physdepd never reported its address" >&2
+    cat "$1" >&2
+    exit 1
+  fi
+}
 stats_req='{"topo":{"name":"jellyfish","n":16,"radix":8,"net":4,"rate":100,"seed":7}}'
+start_daemon "$tmp/daemon.log"
 curl -fsS "http://$addr/healthz" | grep -q '"status":"ok"'
-curl -fsS -X POST -d "$stats_req" "http://$addr/v1/stats" | grep -q '"switches":16'
+curl -fsS -X POST -d "$stats_req" "http://$addr/v1/stats" >"$tmp/daemon-body-cold"
+grep -q '"switches":16' "$tmp/daemon-body-cold"
 curl -fsS -D "$tmp/daemon-replay-hdr" -X POST -d "$stats_req" \
   "http://$addr/v1/stats" >/dev/null
 grep -qi '^x-physdepd-cache: hit' "$tmp/daemon-replay-hdr"
 curl -fsS "http://$addr/metrics" | grep -q '^serve_cache_hit 1$'
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
+grep -q 'cache persisted: 1 entries' "$tmp/daemon.log"
 grep -q 'shutdown complete' "$tmp/daemon.log"
+
+start_daemon "$tmp/daemon-warm.log"
+grep -q 'cache warm-start: 1 entries' "$tmp/daemon-warm.log"
+curl -fsS -D "$tmp/daemon-warm-hdr" -X POST -d "$stats_req" \
+  "http://$addr/v1/stats" >"$tmp/daemon-body-warm"
+grep -qi '^x-physdepd-cache: hit' "$tmp/daemon-warm-hdr"
+cmp "$tmp/daemon-body-cold" "$tmp/daemon-body-warm"
+curl -fsS "http://$addr/metrics" >"$tmp/daemon-warm-metrics"
+grep -q '^serve_cache_hit 1$' "$tmp/daemon-warm-metrics"
+if grep -q '^serve_store_build' "$tmp/daemon-warm-metrics"; then
+  echo "daemon smoke: warm-started daemon did kernel work on a persisted hit" >&2
+  exit 1
+fi
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+grep -q 'shutdown complete' "$tmp/daemon-warm.log"
 
 if [ "${BENCHGATE_SKIP:-}" = "1" ]; then
   echo "== benchgate (skipped: BENCHGATE_SKIP=1)"
