@@ -35,7 +35,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
-func BenchmarkE1Deployability(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkE1Deployability(b *testing.B) { benchExperiment(b, "E1") }
 
 // BenchmarkE1DeployabilityObs is BenchmarkE1Deployability with
 // observability collection enabled — the pair bounds the collection
@@ -71,6 +71,8 @@ func BenchmarkE19FailureDegradation(b *testing.B) { benchExperiment(b, "E19") }
 func BenchmarkE20DayOneVsLifetime(b *testing.B)   { benchExperiment(b, "E20") }
 func BenchmarkE21HumanFactors(b *testing.B)       { benchExperiment(b, "E21") }
 func BenchmarkE22SupplyChainAudit(b *testing.B)   { benchExperiment(b, "E22") }
+func BenchmarkE23PlannerGrowth(b *testing.B)      { benchExperiment(b, "E23") }
+func BenchmarkE24PlannerVsNaive(b *testing.B)     { benchExperiment(b, "E24") }
 
 // The E-scale band: fleet-size fabrics under the sampled path-stats
 // estimator (DESIGN.md §11). These are the multicore headline targets —
@@ -235,9 +237,9 @@ func BenchmarkAblationThroughputProxy(b *testing.B) {
 // Ensure the registry and the benchmark list stay in sync.
 func TestBenchCoverageMatchesExperiments(t *testing.T) {
 	want := len(experiments.Order())
-	// One BenchmarkE* per experiment, enumerated above (22 classic + ES1,
+	// One BenchmarkE* per experiment, enumerated above (24 classic + ES1,
 	// ES2).
-	got := 24
+	got := 26
 	if got != want {
 		t.Fatalf("bench harness covers %d experiments, registry has %d — add the missing BenchmarkE*", got, want)
 	}

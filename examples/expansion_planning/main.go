@@ -2,7 +2,10 @@
 // to 12 aggregation blocks in two increments, comparing the minimal-
 // rewiring plan through the panel layer against re-pulling fibers on the
 // floor, and showing the lifecycle-complexity metrics (Zhang et al.)
-// for each step.
+// for each step. Then the expander side of the coin: the multi-step
+// planner (DESIGN.md §14) schedules a Jellyfish growth — choosing which
+// live links to splice and in what order to work the floor — and prints
+// the resulting typed work plan.
 //
 //	go run ./examples/expansion_planning
 package main
@@ -13,6 +16,7 @@ import (
 
 	"physdep/internal/costmodel"
 	"physdep/internal/lifecycle"
+	"physdep/internal/topology"
 	"physdep/internal/units"
 )
 
@@ -60,4 +64,44 @@ func main() {
 	fmt.Println("\nper the paper (§4.1, quoting Zhao et al.): panels let the topology expand")
 	fmt.Println("\"without walking around the data center floor or requiring the addition or")
 	fmt.Println("removal of existing fiber\".")
+
+	// --- The expander counterpart: a Jellyfish has no panel layer, so
+	// every growth step splices live links at switches scattered across
+	// the floor. The planner searches over splice choices (fewer, closer
+	// racks) and crew work ordering, and emits the full typed plan.
+	jcfg := topology.JellyfishConfig{N: 32, K: 12, R: 6, Rate: 100, Seed: 42}
+	jf, err := topology.Jellyfish(jcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcfg := lifecycle.PlannerConfig{
+		Stages: []lifecycle.GrowthStage{
+			{AddToRs: 2, AddTrunks: 1},
+			{AddToRs: 2, AddTrunks: 1},
+			{AddToRs: 2, AddTrunks: 1},
+		},
+		Floor:       lifecycle.FloorModel{ToRsPerRack: 4, Rows: 4, Cols: 4, RackPitch: 3, EndSlack: 1},
+		Costs:       lifecycle.DefaultActionCosts(m),
+		AnnealSteps: 2000, Restarts: 4, RewireTries: 64, Seed: 42,
+	}
+	plan, err := lifecycle.PlanGrowth(jf, lifecycle.JellyfishGrower{Cfg: jcfg}, pcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\njellyfish growth plan (%d stages, %d typed steps):\n",
+		len(plan.Stages), len(plan.Steps))
+	fmt.Printf("%-6s %9s %6s %9s %10s %9s %8s\n",
+		"stage", "switches", "hops", "rewired", "labor_hrs", "cable_m", "down_min")
+	for _, st := range plan.Stages {
+		fmt.Printf("%-6d %9d %6.2f %9d %10.1f %9.0f %8.0f\n",
+			st.Stage, st.Switches, st.MeanHops, st.Rewired,
+			float64(st.Labor.Hours()), float64(st.Cable), float64(st.Downtime))
+	}
+	fmt.Println("\nfirst work items of the annealed crew route:")
+	for _, s := range plan.Steps[:8] {
+		fmt.Printf("  %3d. stage %d  %-8s rack %2d  %5.1f min\n",
+			s.Seq, s.Stage, s.Kind, s.Rack, float64(s.Minutes))
+	}
+	fmt.Printf("\ntotals: %d floor visits, %.0f m walked, %.1f h labor, %.0f min of link downtime\n",
+		plan.FloorVisits, float64(plan.Walk), float64(plan.Labor.Hours()), float64(plan.Downtime))
 }

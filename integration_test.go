@@ -107,7 +107,10 @@ func TestExpandThenReevaluate(t *testing.T) {
 	if after.Abstract.Servers != before.Abstract.Servers+3*6 {
 		t.Errorf("servers %d -> %d, want +18", before.Abstract.Servers, after.Abstract.Servers)
 	}
-	if after.Cabling.Cables != before.Cabling.Cables+step.NewLinks-step.Rewired {
+	// Each rewire nets +1 cable (one broken live link, two terminations
+	// on the new ToR); NewLinks counts only links on previously-free
+	// ports, so it no longer includes the splice-created ones.
+	if after.Cabling.Cables != before.Cabling.Cables+step.NewLinks+step.Rewired {
 		t.Errorf("cables %d -> %d with %d new links %d rewired",
 			before.Cabling.Cables, after.Cabling.Cables, step.NewLinks, step.Rewired)
 	}

@@ -27,7 +27,12 @@ func E3ExpansionComplexity(ctx context.Context) (*Result, error) {
 	const d = 16 // uplinks per unit across all three fabrics
 
 	addRow := func(name string, step lifecycle.ExpansionStep) {
-		labor := step.LaborMinutes(m.JumperMove*3, m.ConnectEnd*2).Hours()
+		// The per-rewire rate prices the whole splice: the careful live
+		// break (three jumper-moves' worth) plus re-terminating both freed
+		// cables (four connector ends). NewLinks now counts only links on
+		// previously-free ports, so splice terminations are billed here and
+		// nowhere else.
+		labor := step.LaborMinutes(m.JumperMove*3+m.ConnectEnd*4, m.ConnectEnd*2).Hours()
 		res.Lines = append(res.Lines, fmt.Sprintf("%-14s %6d %9d %9d %10d %12.1f",
 			name, step.AddedToRs, step.Rewired, step.NewLinks, step.FloorTasks, float64(labor)))
 	}

@@ -101,6 +101,8 @@ func registry() map[string]Runner {
 		"E20": E20DayOneVsLifetime,
 		"E21": E21HumanFactors,
 		"E22": E22SupplyChainAudit,
+		"E23": E23PlannerGrowthCost,
+		"E24": E24PlannerVsNaive,
 		"ES1": ES1SampledCalibration,
 		"ES2": ES2FleetScale,
 	}
@@ -113,6 +115,7 @@ func Order() []string {
 	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7",
 		"E8", "E9", "E10", "E11", "E12", "E13", "E14",
 		"E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22",
+		"E23", "E24",
 		"ES1", "ES2"}
 }
 

@@ -52,6 +52,10 @@ type Graph struct {
 	// atomic so read-only kernels may freeze lazily while other goroutines
 	// are reading; every mutation clears it.
 	snap atomic.Pointer[Snapshot]
+	// base remembers the last built snapshot and the node/edge counts it
+	// covered, so an additions-only Freeze can patch instead of repack
+	// (csr.go). RemoveEdge retires it; Clone starts the copy fresh.
+	base atomic.Pointer[freezeBase]
 }
 
 // New returns a graph with n nodes and no edges. It panics on negative n;
@@ -106,6 +110,7 @@ func (g *Graph) RemoveEdge(id int) {
 		panic(fmt.Sprintf("graph: RemoveEdge(%d): no such live edge", id))
 	}
 	g.invalidateSnapshot()
+	g.dropBase()
 	e := g.Edges[id]
 	g.adj[e.U] = removeVal(g.adj[e.U], id)
 	if e.V != e.U {

@@ -13,20 +13,45 @@ import (
 // switches and reconnected), how many brand-new links were added, and
 // where the work happened. "Rewired" links are the expensive, risky ones —
 // they touch live traffic; new links to new gear are safe.
+//
+// The two counters partition the physical actions: each rewire is one
+// broken live link plus its re-terminations on the new gear, priced once
+// through the per-rewire rate; NewLinks counts only links whose ports
+// were all previously free. A splice-grown expander add therefore
+// reports NewLinks = 0 — every port the new ToR lights up was freed by a
+// rewire and is billed there. (NewLinks used to also count the
+// rewire-created links, double-billing every splice.)
 type ExpansionStep struct {
 	Fabric     string
 	AddedToRs  int
-	NewLinks   int
+	NewLinks   int // links added on previously-free ports only
 	Rewired    int // live links broken and re-terminated
 	FloorTasks int // distinct physical locations visited (racks or panels)
 }
 
-// LaborMinutes prices the step: rewires cost a full live-fiber move
-// (paper §4.3 shows these are slow and careful); new links are ordinary
-// connections.
+// LaborMinutes prices the step: a rewire costs a full live-fiber move —
+// break the in-service link and re-terminate both freed ends (paper §4.3
+// shows these are slow and careful) — so perRewire must price the whole
+// splice, re-terminations included; perNewLink prices an ordinary
+// connection on previously-free ports. The two never bill the same
+// physical action twice.
 func (s ExpansionStep) LaborMinutes(perRewire, perNewLink units.Minutes) units.Minutes {
 	return units.Minutes(float64(perRewire)*float64(s.Rewired) +
 		float64(perNewLink)*float64(s.NewLinks))
+}
+
+// addRewires folds one add's outcome into the step: the rewires performed,
+// the touched in-service switches (exactly the rewire endpoints — no
+// fingerprint diffing), and the links that consumed only free ports
+// (degree gained minus the two ports every splice re-terminated).
+func (s *ExpansionStep) addRewires(degree int, rewires []topology.Rewire, touched map[int]bool) {
+	s.AddedToRs++
+	s.Rewired += len(rewires)
+	s.NewLinks += degree - 2*len(rewires)
+	for _, rw := range rewires {
+		touched[rw.A] = true
+		touched[rw.B] = true
+	}
 }
 
 // ExpandJellyfish adds n ToRs to a Jellyfish one at a time, per the
@@ -38,24 +63,11 @@ func ExpandJellyfish(t *topology.Topology, cfg topology.JellyfishConfig, n int, 
 	step := ExpansionStep{Fabric: t.Name}
 	touched := map[int]bool{}
 	for i := 0; i < n; i++ {
-		before := collectNeighbors(t)
-		id, rewired, err := topology.JellyfishAddToR(t, cfg, rng)
+		id, rewires, err := topology.JellyfishAddToR(t, cfg, rng)
 		if err != nil {
 			return step, fmt.Errorf("lifecycle: jellyfish expansion: %w", err)
 		}
-		step.AddedToRs++
-		step.Rewired += rewired
-		step.NewLinks += t.Degree(id)
-		// Every switch whose neighbor set changed is a floor visit.
-		after := collectNeighbors(t)
-		for sw, nb := range after {
-			if sw == id {
-				continue
-			}
-			if b, ok := before[sw]; !ok || b != nb {
-				touched[sw] = true
-			}
-		}
+		step.addRewires(t.Degree(id), rewires, touched)
 	}
 	step.FloorTasks = len(touched) + step.AddedToRs
 	return step, nil
@@ -68,40 +80,14 @@ func ExpandXpander(t *topology.Topology, cfg topology.XpanderConfig, n int, rng 
 	step := ExpansionStep{Fabric: t.Name}
 	touched := map[int]bool{}
 	for i := 0; i < n; i++ {
-		before := collectNeighbors(t)
-		id, rewired, err := topology.XpanderAddToR(t, cfg, i%(cfg.D+1), rng)
+		id, rewires, err := topology.XpanderAddToR(t, cfg, i%(cfg.D+1), rng)
 		if err != nil {
 			return step, fmt.Errorf("lifecycle: xpander expansion: %w", err)
 		}
-		step.AddedToRs++
-		step.Rewired += rewired
-		step.NewLinks += t.Degree(id)
-		after := collectNeighbors(t)
-		for sw, nb := range after {
-			if sw == id {
-				continue
-			}
-			if b, ok := before[sw]; !ok || b != nb {
-				touched[sw] = true
-			}
-		}
+		step.addRewires(t.Degree(id), rewires, touched)
 	}
 	step.FloorTasks = len(touched) + step.AddedToRs
 	return step, nil
-}
-
-// collectNeighbors fingerprints each node's neighbor multiset cheaply
-// (sum and count), enough to detect which switches were touched.
-func collectNeighbors(t *topology.Topology) map[int][2]int {
-	m := make(map[int][2]int, t.N)
-	for u := 0; u < t.N; u++ {
-		sum := 0
-		for _, id := range t.IncidentEdges(u) {
-			sum += t.Edges[id].Other(u)
-		}
-		m[u] = [2]int{t.Degree(u), sum}
-	}
-	return m
 }
 
 // ExpandClosViaPanels grows a patch-panel Clos by newAggs aggregation

@@ -195,8 +195,12 @@ func TestExpandJellyfishCost(t *testing.T) {
 	if step.Rewired != 12 {
 		t.Errorf("rewired = %d, want 12", step.Rewired)
 	}
-	if step.NewLinks != 4*6 {
-		t.Errorf("new links = %d, want 24", step.NewLinks)
+	// A splice-grown add lights up the new ToR's R ports entirely from
+	// rewired terminations (2 per splice × R/2 splices): zero links land
+	// on previously-free ports. The old accounting reported R per add
+	// here, billing every splice-created link a second time as "new".
+	if step.NewLinks != 0 {
+		t.Errorf("new links = %d, want 0 (all ports came from rewires)", step.NewLinks)
 	}
 	if step.FloorTasks <= step.AddedToRs {
 		t.Errorf("floor tasks = %d, expected visits to rewired switches too", step.FloorTasks)

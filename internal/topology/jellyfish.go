@@ -49,23 +49,25 @@ const jellySeedMix uint64 = 0x6a656c6c79
 // incremental procedure: pick R/2 random existing links whose endpoints
 // are not yet neighbors of the new node, break each, and connect both
 // freed ports to the new ToR. Existing nodes keep their degree; the new
-// node reaches R. Returns the new node ID and how many links were
-// rewired (always R/2 on success) — the physical-rewiring cost E3
-// compares against Xpander and Clos expansions.
-func JellyfishAddToR(t *Topology, cfg JellyfishConfig, rng *rand.Rand) (newID, rewired int, err error) {
+// node reaches R. Returns the new node ID and the rewires performed, one
+// per broken live link (always R/2 on success) — the exact record of
+// which in-service switches were touched, which the lifecycle layer
+// aggregates instead of diffing neighbor fingerprints.
+func JellyfishAddToR(t *Topology, cfg JellyfishConfig, rng *rand.Rand) (newID int, rewires []Rewire, err error) {
 	if cfg.R%2 != 0 {
-		return 0, 0, fmt.Errorf("jellyfish: incremental add needs even R, got %d", cfg.R)
+		return 0, nil, fmt.Errorf("jellyfish: incremental add needs even R, got %d", cfg.R)
 	}
 	newID = t.AddSwitch(Node{Role: RoleToR, Radix: cfg.K, Rate: cfg.Rate,
 		ServerPorts: cfg.K - cfg.R, Pod: -1, Label: fmt.Sprintf("tor-new%d", t.N)})
 	need := cfg.R / 2
-	for rewired < need {
-		if !spliceDouble(t, newID, rng) {
-			return newID, rewired, fmt.Errorf("jellyfish: only %d of %d splices found", rewired, need)
+	for len(rewires) < need {
+		rw, ok := spliceDouble(t, newID, rng)
+		if !ok {
+			return newID, rewires, fmt.Errorf("jellyfish: only %d of %d splices found", len(rewires), need)
 		}
-		rewired++
+		rewires = append(rewires, rw)
 	}
-	return newID, rewired, nil
+	return newID, rewires, nil
 }
 
 // randomRegularWire wires the (currently edge-free among themselves) nodes
@@ -122,7 +124,7 @@ func randomRegularWire(t *Topology, r int, rng *rand.Rand) error {
 			}
 			continue
 		}
-		if !spliceDouble(t, u, rng) {
+		if _, ok := spliceDouble(t, u, rng); !ok {
 			return fmt.Errorf("wiring stuck: no splice candidate for node %d", u)
 		}
 	}
@@ -130,8 +132,9 @@ func randomRegularWire(t *Topology, r int, rng *rand.Rand) error {
 
 // spliceDouble implements the Jellyfish repair: remove a random edge
 // (a, b) with a, b both non-adjacent to u and distinct from u, then add
-// (u, a) and (u, b).
-func spliceDouble(t *Topology, u int, rng *rand.Rand) bool {
+// (u, a) and (u, b). On success it returns the rewire record — the two
+// in-service switches whose live link was broken.
+func spliceDouble(t *Topology, u int, rng *rand.Rand) (Rewire, bool) {
 	live := liveEdgeIDs(t)
 	rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
 	for _, id := range live {
@@ -143,9 +146,9 @@ func spliceDouble(t *Topology, u int, rng *rand.Rand) bool {
 		t.RemoveEdge(id)
 		t.Link(u, a)
 		t.Link(u, b)
-		return true
+		return Rewire{A: a, B: b}, true
 	}
-	return false
+	return Rewire{}, false
 }
 
 // spliceSingle frees progress when u has exactly one free port: remove an

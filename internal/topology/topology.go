@@ -50,6 +50,17 @@ type Node struct {
 	Label       string
 }
 
+// Rewire records one live-link splice performed by an incremental add:
+// the in-service link A–B was broken and both freed ports re-terminated
+// on the new switch. A and B are exactly the in-service switches a crew
+// must visit for this rewire — the ground truth the lifecycle layer
+// aggregates into touched-switch counts (it used to reconstruct them by
+// diffing per-switch neighbor fingerprints, which both cost an O(N) scan
+// per add and missed fingerprint-colliding swaps).
+type Rewire struct {
+	A, B int
+}
+
 // Topology is a switch-level network graph plus per-switch metadata.
 type Topology struct {
 	*graph.Graph

@@ -261,12 +261,30 @@ func TestXpanderAddToR(t *testing.T) {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewPCG(1, 2))
-	newID, rewired, err := XpanderAddToR(x, cfg, 2, rng)
+	newID, rewires, err := XpanderAddToR(x, cfg, 2, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rewired != 3 {
-		t.Errorf("rewired = %d, want D/2 = 3", rewired)
+	if len(rewires) != 3 {
+		t.Errorf("rewired = %d, want D/2 = 3", len(rewires))
+	}
+	// Each rewire names two distinct in-service switches outside meta-node
+	// 2, none of them the new node, and no endpoint repeats: the splices of
+	// one add are pairwise disjoint by construction.
+	seen := map[int]bool{}
+	for _, rw := range rewires {
+		for _, sw := range [2]int{rw.A, rw.B} {
+			if sw == newID {
+				t.Errorf("rewire %+v touches the new node", rw)
+			}
+			if MetaNode(x, sw) == 2 {
+				t.Errorf("rewire %+v touches meta-node 2", rw)
+			}
+			if seen[sw] {
+				t.Errorf("switch %d appears in two rewires of one add", sw)
+			}
+			seen[sw] = true
+		}
 	}
 	if d := x.Degree(newID); d != 6 {
 		t.Errorf("new ToR degree = %d, want 6", d)

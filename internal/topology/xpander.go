@@ -61,12 +61,13 @@ func MetaNode(t *Topology, id int) int { return t.Nodes[id].Pod }
 // incremental procedure from the paper: the new ToR steals one endpoint
 // from D/2 existing links whose endpoints lie in other meta-nodes, so the
 // new node reaches D distinct meta-neighbors while existing nodes keep
-// their degree. Returns the new node ID and the number of links rewired
-// (the paper's headline "as many as d/2 links must be rewired per added
-// ToR" — the physical cost E3 measures).
-func XpanderAddToR(t *Topology, cfg XpanderConfig, m int, rng *rand.Rand) (newID, rewired int, err error) {
+// their degree. Returns the new node ID and the rewires performed, one
+// per broken live link (the paper's headline "as many as d/2 links must
+// be rewired per added ToR" — the physical cost E3 measures); the rewire
+// records name exactly the in-service switches touched.
+func XpanderAddToR(t *Topology, cfg XpanderConfig, m int, rng *rand.Rand) (newID int, rewires []Rewire, err error) {
 	if m < 0 || m > cfg.D {
-		return 0, 0, fmt.Errorf("xpander: meta-node %d out of range [0,%d]", m, cfg.D)
+		return 0, nil, fmt.Errorf("xpander: meta-node %d out of range [0,%d]", m, cfg.D)
 	}
 	newID = t.AddSwitch(Node{Role: RoleToR, Radix: cfg.D + cfg.ServerPorts, Rate: cfg.Rate,
 		ServerPorts: cfg.ServerPorts, Pod: m, Label: fmt.Sprintf("tor-%d-new%d", m, t.N)})
@@ -77,7 +78,7 @@ func XpanderAddToR(t *Topology, cfg XpanderConfig, m int, rng *rand.Rand) (newID
 	live := liveEdgeIDs(t)
 	rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
 	for _, id := range live {
-		if rewired == need {
+		if len(rewires) == need {
 			break
 		}
 		e := t.Edges[id]
@@ -94,10 +95,10 @@ func XpanderAddToR(t *Topology, cfg XpanderConfig, m int, rng *rand.Rand) (newID
 		t.RemoveEdge(id)
 		t.Link(newID, a)
 		t.Link(newID, b)
-		rewired++
+		rewires = append(rewires, Rewire{A: a, B: b})
 	}
-	if rewired < need {
-		return newID, rewired, fmt.Errorf("xpander: only %d of %d splices found for new ToR", rewired, need)
+	if len(rewires) < need {
+		return newID, rewires, fmt.Errorf("xpander: only %d of %d splices found for new ToR", len(rewires), need)
 	}
-	return newID, rewired, nil
+	return newID, rewires, nil
 }

@@ -78,7 +78,7 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	dir := flag.String("dir", ".", "directory holding the BENCH_<ID>.json baselines")
-	ids := flag.String("ids", "E1,E7,E16,ES1", "comma-separated experiment IDs to gate")
+	ids := flag.String("ids", "E1,E7,E16,E23,ES1", "comma-separated experiment IDs to gate")
 	reps := flag.Int("reps", 3, "repetitions per point (best wall-clock wins)")
 	update := flag.Bool("update", false, "re-measure and atomically rewrite the baselines instead of gating")
 	wallFactor := flag.Float64("wall-factor", 3.0, "fail when measured wall_ms exceeds baseline × this")

@@ -22,7 +22,7 @@
 # seeds still replay as part of go test above); raise it locally for a
 # deeper soak, e.g. FUZZTIME=30s ./scripts/check.sh.
 #
-# Benchgate: scripts/benchgate re-runs the E1/E7/E16/ES1 benchmarks and
+# Benchgate: scripts/benchgate re-runs the E1/E7/E16/E23/ES1 benchmarks and
 # compares wall-clock and allocations against the committed BENCH_*.json
 # baselines (generous tolerance; allocs are the sharp edge). A real,
 # intentional perf change is recorded by committing the output of
@@ -127,6 +127,15 @@ fi
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 grep -q 'shutdown complete' "$tmp/daemon-warm.log"
+
+echo "== lifecycle smoke (planner golden replay)"
+# The multi-step expansion planner end to end through the CLI: the E23
+# growth schedule (Jellyfish vs Xpander vs panel-Clos) must reproduce
+# its committed golden byte for byte. cmd/experiments prints each table
+# with Println, which appends one newline past the golden file's
+# content — the `echo` accounts for it.
+go run ./cmd/experiments -run E23 >"$tmp/e23.out"
+diff <(cat internal/experiments/testdata/golden/E23.txt; echo) "$tmp/e23.out"
 
 if [ "${BENCHGATE_SKIP:-}" = "1" ]; then
   echo "== benchgate (skipped: BENCHGATE_SKIP=1)"
