@@ -10,6 +10,7 @@
 //	experiments -bench-json out.json    # benchmark experiments, write one JSON report
 //	experiments -bench-json 'BENCH_*.json'  # …or one BENCH_E<n>.json per experiment
 //	experiments -manifest m.json        # write the machine-readable run manifest
+//	experiments -topo-file fabric.json  # evaluate one interchange document, print the JSON report
 //	experiments -trace                  # print the span tree + counters to stderr
 //	experiments -cpuprofile cpu.pprof   # runtime/pprof CPU profile of the run
 //	experiments -memprofile mem.pprof   # heap profile at end of run
@@ -47,8 +48,10 @@ import (
 	"syscall"
 	"time"
 
+	"physdep/internal/core"
 	"physdep/internal/experiments"
 	"physdep/internal/floorplan"
+	"physdep/internal/interchange"
 	"physdep/internal/obs"
 	"physdep/internal/par"
 	"physdep/internal/physerr"
@@ -85,6 +88,7 @@ func run() (exit int) {
 	goldenDir := flag.String("golden-dir", filepath.Join("internal", "experiments", "testdata", "golden"),
 		"directory -update-golden writes <ID>.txt files into")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this long (0 = no deadline); partial results are flushed and the exit code is nonzero")
+	topoFile := flag.String("topo-file", "", "evaluate one interchange document with library defaults and print the JSON report (instead of running experiments)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the context instead of killing the process, so
@@ -157,6 +161,14 @@ func run() (exit int) {
 			}
 		}
 	}()
+
+	if *topoFile != "" {
+		if err := runTopoFile(ctx, *topoFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return diagnoseCancel(ctx, 1)
+		}
+		return diagnoseCancel(ctx, 0)
+	}
 
 	order := experiments.Order()
 
@@ -232,6 +244,33 @@ func diagnoseCancel(ctx context.Context, code int) int {
 		return 1
 	}
 	return code
+}
+
+// runTopoFile is the document twin of a one-experiment run: load an
+// interchange document, evaluate it under core's defaults (honoring the
+// document's hall geometry when present), and print the full Report as
+// indented JSON on stdout — the machine-readable complement to
+// physdep's human scorecard, for piping a fleet's exported fabric
+// straight into jq or a dashboard.
+func runTopoFile(ctx context.Context, path string) error {
+	tp, doc, err := interchange.LoadFileCtx(ctx, path)
+	if err != nil {
+		return err
+	}
+	hall := floorplan.DefaultHall(6, 16)
+	if doc.Hall != nil {
+		hall = floorplan.DefaultHall(doc.Hall.Rows, doc.Hall.Slots)
+	}
+	rep, err := core.EvaluateCtx(ctx, core.DefaultInput(tp, hall))
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(b, '\n'))
+	return err
 }
 
 // writeGolden regenerates the golden corpus: one <ID>.txt per selected

@@ -11,6 +11,7 @@
 //	physdep -topo leafspine -n 32 -spines 8
 //	physdep -topo fatclique -d 4 -lift 4 -k 4
 //	physdep -topo slimfly -q 5
+//	physdep -topo-file fabric.json
 package main
 
 import (
@@ -19,21 +20,24 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"physdep/internal/cli"
 	"physdep/internal/core"
 	"physdep/internal/floorplan"
+	"physdep/internal/interchange"
+	"physdep/internal/topology"
 	"physdep/internal/units"
 )
 
 func main() {
 	var (
-		topoName = flag.String("topo", "fattree", "fattree|leafspine|jellyfish|xpander|flatbutterfly|fatclique|slimfly|vl2")
+		topoName = flag.String("topo", "fattree", strings.Join(cli.Families(), "|"))
 		k        = flag.Int("k", 8, "fat-tree K / fatclique Kf / butterfly dims")
-		n        = flag.Int("n", 64, "jellyfish N / leaf count")
+		n        = flag.Int("n", 64, "jellyfish N / leaf count / flatrandom N")
 		radix    = flag.Int("radix", 16, "switch radix")
-		net      = flag.Int("net", 8, "network ports per ToR (jellyfish R)")
+		net      = flag.Int("net", 8, "network ports per ToR (jellyfish/flatrandom R)")
 		d        = flag.Int("d", 8, "xpander D / fatclique Ks / slimfly q")
 		lift     = flag.Int("lift", 6, "xpander lift / fatclique Kb")
 		q        = flag.Int("q", 5, "slim fly q (prime ≡ 1 mod 4)")
@@ -45,6 +49,7 @@ func main() {
 		anneal   = flag.Int("anneal", 0, "placement annealing steps (0 = greedy only)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		timeout  = flag.Duration("timeout", 0, "cancel the evaluation after this long (0 = no deadline)")
+		topoFile = flag.String("topo-file", "", "evaluate an interchange document instead of generating (overrides -topo)")
 	)
 	flag.Parse()
 
@@ -59,15 +64,36 @@ func main() {
 		defer cancel()
 	}
 
-	tp, err := cli.BuildTopology(cli.TopoParams{
-		Name: *topoName, K: *k, N: *n, Radix: *radix, Net: *net, D: *d,
-		Lift: *lift, Q: *q, Spines: *spines, Rate: units.Gbps(*rate), Seed: *seed,
-	})
+	hallRows, hallSlots := *rows, *slots
+	var tp *topology.Topology
+	var err error
+	if *topoFile != "" {
+		var doc *interchange.Document
+		tp, doc, err = interchange.LoadFileCtx(ctx, *topoFile)
+		// A document may pin its own hall geometry; explicit -rows/-slots
+		// flags still win (the operator is asking a what-if about a
+		// different hall), so only un-set flags take the document's values.
+		if err == nil && doc.Hall != nil {
+			set := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+			if !set["rows"] {
+				hallRows = doc.Hall.Rows
+			}
+			if !set["slots"] {
+				hallSlots = doc.Hall.Slots
+			}
+		}
+	} else {
+		tp, err = cli.BuildTopology(cli.TopoParams{
+			Name: *topoName, K: *k, N: *n, Radix: *radix, Net: *net, D: *d,
+			Lift: *lift, Q: *q, Spines: *spines, Rate: units.Gbps(*rate), Seed: *seed,
+		})
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	in := core.DefaultInput(tp, floorplan.DefaultHall(*rows, *slots))
+	in := core.DefaultInput(tp, floorplan.DefaultHall(hallRows, hallSlots))
 	in.Techs = *techs
 	in.PlacementSteps = *anneal
 	in.Seed = *seed

@@ -1,12 +1,14 @@
 // Command physdepd serves physdep's evaluation pipeline over HTTP+JSON:
 // POST /v1/evaluate, /v1/stats, /v1/whatif against shared frozen
 // topology snapshots, with per-request deadlines, an LRU result cache,
-// and bounded admission. See internal/serve and the README's "Serving"
-// section.
+// and bounded admission; POST /v1/documents uploads an interchange
+// document and returns a "sha256:<hex>" ref usable as a topo spec.
+// See internal/serve and the README's "Serving" and "Interchange"
+// sections.
 //
 // Usage:
 //
-//	physdepd [-addr host:port] [-max-inflight n] [-cache n] [-cache-persist file] [-timeout d]
+//	physdepd [-addr host:port] [-max-inflight n] [-cache n] [-doc-entries n] [-cache-persist file] [-timeout d]
 //
 // The bound address is printed as "listening on <addr>" once the
 // listener is up (use -addr 127.0.0.1:0 to let the kernel pick a free
@@ -33,20 +35,22 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted uncached evaluations (0 = 2x worker count)")
 	cacheEntries := flag.Int("cache", 0, "result cache entries (0 = default 256)")
+	docEntries := flag.Int("doc-entries", 0, "uploaded interchange documents held resident (0 = default 32)")
 	cachePersist := flag.String("cache-persist", "", "persist the result cache to this file: loaded at startup, written temp+rename on graceful shutdown")
 	timeout := flag.Duration("timeout", 0, "server-side cap on per-request deadlines (0 = none)")
 	drain := flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
 	flag.Parse()
-	if err := run(*addr, *maxInflight, *cacheEntries, *cachePersist, *timeout, *drain); err != nil {
+	if err := run(*addr, *maxInflight, *cacheEntries, *docEntries, *cachePersist, *timeout, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "physdepd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxInflight, cacheEntries int, persist string, timeout, drain time.Duration) error {
+func run(addr string, maxInflight, cacheEntries, docEntries int, persist string, timeout, drain time.Duration) error {
 	srv := serve.New(serve.Config{
 		MaxInFlight:    maxInflight,
 		CacheEntries:   cacheEntries,
+		DocEntries:     docEntries,
 		RequestTimeout: timeout,
 	})
 	if persist != "" {

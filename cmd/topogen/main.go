@@ -7,26 +7,31 @@
 //	topogen -topo jellyfish -n 128 -radix 16 -net 8
 //	topogen -topo fattree -k 16
 //	topogen -topo slimfly -q 13
+//	topogen -topo jellyfish -n 128 -radix 16 -net 8 -emit fabric.json
+//	topogen -topo-file fabric.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"strings"
 
 	"physdep/internal/cli"
+	"physdep/internal/interchange"
 	"physdep/internal/trafficsim"
 	"physdep/internal/units"
 )
 
 func main() {
 	var (
-		topoName = flag.String("topo", "fattree", "fattree|leafspine|jellyfish|xpander|flatbutterfly|fatclique|slimfly|vl2")
+		topoName = flag.String("topo", "fattree", strings.Join(cli.Families(), "|"))
 		k        = flag.Int("k", 8, "fat-tree K / fatclique Kf / butterfly dims")
-		n        = flag.Int("n", 64, "jellyfish N / leaf count / butterfly C")
+		n        = flag.Int("n", 64, "jellyfish N / leaf count / butterfly C / flatrandom N")
 		radix    = flag.Int("radix", 16, "switch radix")
-		net      = flag.Int("net", 8, "network ports per ToR")
+		net      = flag.Int("net", 8, "network ports per ToR (flatrandom R)")
 		d        = flag.Int("d", 8, "xpander D / fatclique Ks / vl2 DA")
 		lift     = flag.Int("lift", 6, "xpander lift / fatclique Kb / vl2 DI")
 		q        = flag.Int("q", 5, "slim fly q")
@@ -34,15 +39,30 @@ func main() {
 		rate     = flag.Float64("rate", 100, "line rate Gbps")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		tput     = flag.Bool("throughput", false, "also compute uniform-traffic throughput (slower)")
+		emit     = flag.String("emit", "", "also write the fabric as an interchange document to this path")
+		topoFile = flag.String("topo-file", "", "profile an interchange document instead of generating (overrides -topo)")
 	)
 	flag.Parse()
-	tp, err := cli.BuildTopology(cli.TopoParams{
+	params := cli.TopoParams{
 		Name: *topoName, K: *k, N: *n, Radix: *radix, Net: *net, D: *d,
 		Lift: *lift, Q: *q, Spines: *spines, Rate: units.Gbps(*rate), Seed: *seed,
-	})
+	}
+	if *topoFile != "" {
+		params = cli.TopoParams{Name: "file", File: *topoFile}
+	}
+	tp, err := cli.BuildTopology(params)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
+	}
+	if *emit != "" {
+		doc := interchange.FromTopology(tp)
+		doc.Generator = &interchange.Provenance{Tool: "topogen", Family: params.Name, Spec: specJSON(params)}
+		if err := interchange.EmitFile(*emit, doc); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("emitted: %s\n", *emit)
 	}
 	st := tp.BasicStats()
 	rng := rand.New(rand.NewPCG(*seed, *seed^0x70706f))
@@ -67,4 +87,15 @@ func main() {
 			fmt.Printf("  uniform-traffic alpha (KSP-8): %.3f\n", ak)
 		}
 	}
+}
+
+// specJSON renders the generator parameters as canonical JSON for the
+// emitted document's provenance block (informational only: a re-upload
+// or reload never consults it).
+func specJSON(p cli.TopoParams) string {
+	b, err := json.Marshal(p)
+	if err != nil {
+		return ""
+	}
+	return string(b)
 }

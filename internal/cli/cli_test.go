@@ -1,10 +1,28 @@
 package cli
 
 import (
+	"errors"
+	"path/filepath"
 	"testing"
+
+	"physdep/internal/interchange"
+	"physdep/internal/physerr"
+	"physdep/internal/topology"
 )
 
 func TestBuildEveryFamily(t *testing.T) {
+	// The "file" family needs a document on disk; emit one from a fabric
+	// the generator path can also build, so the case exercises the real
+	// loader end to end.
+	seedTopo, err := BuildTopology(TopoParams{Name: "jellyfish", N: 16, Radix: 8, Net: 4, Rate: 100, Seed: 7})
+	if err != nil {
+		t.Fatalf("building document source: %v", err)
+	}
+	docPath := filepath.Join(t.TempDir(), "fabric.json")
+	if err := interchange.EmitFile(docPath, interchange.FromTopology(seedTopo)); err != nil {
+		t.Fatalf("emitting document: %v", err)
+	}
+
 	cases := map[string]TopoParams{
 		"fattree":       {Name: "fattree", K: 4, Rate: 100},
 		"leafspine":     {Name: "leafspine", N: 8, Spines: 4, Net: 4, Radix: 16, Rate: 100},
@@ -14,6 +32,8 @@ func TestBuildEveryFamily(t *testing.T) {
 		"fatclique":     {Name: "fatclique", D: 3, Lift: 3, K: 3, Radix: 8, Rate: 100},
 		"slimfly":       {Name: "slimfly", Q: 5, Radix: 9, Rate: 100},
 		"vl2":           {Name: "vl2", D: 4, Lift: 4, Radix: 16, Rate: 10},
+		"flatrandom":    {Name: "flatrandom", N: 24, Radix: 12, Net: 6, Rate: 100, Seed: 1},
+		"file":          {Name: "file", File: docPath},
 	}
 	if len(cases) != len(Families()) {
 		t.Fatalf("test covers %d families, CLI exposes %d", len(cases), len(Families()))
@@ -42,5 +62,52 @@ func TestBuildRejectsUnknownAndBadParams(t *testing.T) {
 	}
 	if _, err := BuildTopology(TopoParams{Name: "fattree", K: 3}); err == nil {
 		t.Error("odd fat-tree K accepted")
+	}
+	if _, err := BuildTopology(TopoParams{Name: "file"}); err == nil {
+		t.Error("file family without a path accepted")
+	}
+	if _, err := BuildTopology(TopoParams{Name: "file", File: filepath.Join(t.TempDir(), "absent.json")}); err == nil {
+		t.Error("file family with a missing document accepted")
+	}
+}
+
+// TestLeafSpineDivisibility pins the truncation fix: when Spines does not
+// divide N·Net, BuildTopology must reject the config (it used to build a
+// fabric that silently stranded the remainder uplinks) — and divisible
+// configs still build with every spine carrying exactly its share.
+func TestLeafSpineDivisibility(t *testing.T) {
+	cases := []struct {
+		name string
+		p    TopoParams
+		ok   bool
+	}{
+		{"even split", TopoParams{Name: "leafspine", N: 8, Spines: 4, Net: 4, Radix: 16, Rate: 100}, true},
+		{"triple split", TopoParams{Name: "leafspine", N: 6, Spines: 3, Net: 3, Radix: 16, Rate: 100}, true},
+		{"remainder 2", TopoParams{Name: "leafspine", N: 7, Spines: 5, Net: 2, Radix: 16, Rate: 100}, false},
+		{"remainder 1", TopoParams{Name: "leafspine", N: 3, Spines: 2, Net: 3, Radix: 16, Rate: 100}, false},
+		{"prime spines", TopoParams{Name: "leafspine", N: 8, Spines: 3, Net: 4, Radix: 16, Rate: 100}, false},
+	}
+	for _, c := range cases {
+		tp, err := BuildTopology(c.p)
+		if c.ok {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", c.name, err)
+				continue
+			}
+			// Every spine must carry exactly N·Net/Spines uplinks — the
+			// whole point of the divisibility rule.
+			want := c.p.N * c.p.Net / c.p.Spines
+			for _, id := range tp.SwitchesByRole(topology.RoleSpine) {
+				if d := tp.Degree(id); d != want {
+					t.Errorf("%s: spine %d degree %d, want %d", c.name, id, d, want)
+				}
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: non-divisible config accepted", c.name)
+		} else if !errors.Is(err, physerr.ErrOutOfRange) {
+			t.Errorf("%s: error kind = %v, want ErrOutOfRange", c.name, err)
+		}
 	}
 }

@@ -121,11 +121,19 @@ func (g *Graph) RemoveEdge(id int) {
 	g.Edges[id].U, g.Edges[id].V = -1, -1
 }
 
+// removeVal deletes the first occurrence of v from s, preserving the
+// order of the remaining elements. Order preservation is load-bearing:
+// adjacency lists are appended in ascending edge-ID order, so with
+// shift-removal they stay ascending across any removal history. That
+// makes a graph's per-node incidence order a pure function of its live
+// edge set in slot order — which is what lets an interchange document
+// (live edges only, slot order) reload into a graph whose CSR rows, and
+// therefore every order-sensitive float accumulation (SpectralGap's
+// matvec), are byte-identical to the original's.
 func removeVal(s []int, v int) []int {
 	for i, x := range s {
 		if x == v {
-			s[i] = s[len(s)-1]
-			return s[:len(s)-1]
+			return append(s[:i], s[i+1:]...)
 		}
 	}
 	return s

@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRemovalPreservesAdjacencyOrder pins the order-preserving removal
+// contract: adjacency lists are appended in ascending edge-ID order, and
+// RemoveEdge must keep the survivors in that order. The interchange
+// round-trip (emit live edges in slot order, reload, compare CSR rows
+// byte-for-byte) depends on this — swap-removal would permute incidence
+// lists on any graph whose generator splices (jellyfish, xpander,
+// flatrandom) and break SpectralGap's float-sum identity.
+func TestRemovalPreservesAdjacencyOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := New(30)
+	for i := 0; i < 200; i++ {
+		g.AddEdge(rng.Intn(30), rng.Intn(30), 1)
+	}
+	// Interleave removals and additions the way splice repair does.
+	for step := 0; step < 120; step++ {
+		if step%3 == 2 {
+			g.AddEdge(rng.Intn(30), rng.Intn(30), 1)
+			continue
+		}
+		id := rng.Intn(len(g.Edges))
+		for !g.Live(id) {
+			id = (id + 1) % len(g.Edges)
+		}
+		g.RemoveEdge(id)
+	}
+	for u := 0; u < g.N; u++ {
+		inc := g.IncidentEdges(u)
+		for i := 1; i < len(inc); i++ {
+			// Self-loops repeat an ID, so non-decreasing is the invariant.
+			if inc[i] < inc[i-1] {
+				t.Fatalf("node %d incidence out of order after removals: %v", u, inc)
+			}
+		}
+	}
+
+	// The sharper form of the same contract: a graph rebuilt from g's
+	// live edges in slot order must have identical incidence lists —
+	// adjacency order is a pure function of the live edge set.
+	rebuilt := New(g.N)
+	remap := make(map[int]int, len(g.Edges))
+	for _, e := range g.Edges {
+		if e.U == -1 {
+			continue
+		}
+		remap[rebuilt.AddEdge(e.U, e.V, e.Cap)] = e.ID
+	}
+	for u := 0; u < g.N; u++ {
+		a, b := g.IncidentEdges(u), rebuilt.IncidentEdges(u)
+		if len(a) != len(b) {
+			t.Fatalf("node %d: degree %d vs rebuilt %d", u, len(a), len(b))
+		}
+		for i := range b {
+			if remap[b[i]] != a[i] {
+				t.Fatalf("node %d: incidence diverges at %d: %v vs (remapped) %v", u, i, a, b)
+			}
+		}
+	}
+}

@@ -192,6 +192,15 @@ func (c *resultCache) get(k cacheKey) ([]byte, bool) {
 	return b, ok
 }
 
+// peek is get without the counter side effects. The follower retry loop
+// in serveCached re-checks the cache after an empty flight; those
+// re-checks belong to a logical request whose one hit-or-miss was
+// already counted up front, so counting them again would inflate
+// serve.cache.miss by the number of retries.
+func (c *resultCache) peek(k cacheKey) ([]byte, bool) {
+	return c.lru.get(k)
+}
+
 func (c *resultCache) put(k cacheKey, body []byte) {
 	obs.Inc("serve.cache.store")
 	if c.lru.add(k, body) {

@@ -181,11 +181,16 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key cacheKe
 		defer cancel()
 	}
 
+	// One logical request is one hit or one miss, no matter how many
+	// times the follower loop below re-checks the cache: the counted
+	// lookup happens exactly once, here. (The loop used to re-run it per
+	// retry, so a request released by a failed leader inflated
+	// serve.cache.miss once per iteration.)
+	if body, ok := s.cache.get(key); ok {
+		writeJSONBody(w, body, "hit")
+		return
+	}
 	for {
-		if body, ok := s.cache.get(key); ok {
-			writeJSONBody(w, body, "hit")
-			return
-		}
 		f, leader := s.flights.begin(key)
 		if leader {
 			s.serveAsLeader(w, ctx, key, f, compute)
@@ -199,9 +204,15 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key cacheKe
 				writeJSONBody(w, f.body, "coalesced")
 				return
 			}
-			// The leader produced no response. Loop: the cache may have been
-			// populated by a later flight, or this request becomes the new
-			// leader and computes under its own context.
+			// The leader produced no response. A later flight may have
+			// populated the cache in the meantime — re-check it uncounted
+			// (same logical request, already counted as one miss) — then
+			// loop: this request becomes the new leader, or follows a
+			// fresh flight, under its own context.
+			if body, ok := s.cache.peek(key); ok {
+				writeJSONBody(w, body, "hit")
+				return
+			}
 			continue
 		case <-ctx.Done():
 			if err := ctx.Err(); errors.Is(err, context.DeadlineExceeded) {
@@ -528,6 +539,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.SetGauge("serve.inflight", float64(s.gate.InFlight()))
 	obs.SetGauge("serve.cache.entries", float64(s.cache.lru.len()))
 	obs.SetGauge("serve.store.entries", float64(s.store.entries.len()))
+	obs.SetGauge("serve.docs.entries", float64(s.docs.len()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, obs.TakeSnapshot().RenderMetrics())
 }

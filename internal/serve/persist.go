@@ -127,7 +127,15 @@ func (s *Server) LoadCache(path string) (int, error) {
 		return 0, fmt.Errorf("cache persist %s: format %q version %d, want %q version %d",
 			path, hdr.Format, hdr.Version, persistFormat, persistVersion)
 	}
-	loaded := 0
+	if hdr.Entries < 0 {
+		return 0, fmt.Errorf("cache persist %s: header declares %d entries", path, hdr.Entries)
+	}
+	// processed counts entries the file actually carried in decodable
+	// form, valid or not; comparing it against the header's declared count
+	// afterwards is what catches a snapshot truncated on a clean line
+	// boundary — every surviving line decodes fine, so without the header
+	// check the warm start would just be silently short.
+	loaded, processed := 0, 0
 	for {
 		var e persistEntry
 		if err := dec.Decode(&e); err == io.EOF {
@@ -137,6 +145,7 @@ func (s *Server) LoadCache(path string) (int, error) {
 			obs.Inc("serve.persist.corrupt")
 			break
 		}
+		processed++
 		kb, err := hex.DecodeString(e.Key)
 		if err != nil || len(kb) != len(cacheKey{}) {
 			obs.Inc("serve.persist.corrupt")
@@ -151,6 +160,16 @@ func (s *Server) LoadCache(path string) (int, error) {
 		}
 		s.cache.lru.add(k, body)
 		loaded++
+	}
+	// The shortfall: entries the header promised but the file no longer
+	// has (truncation) — each one is a working-set response that will now
+	// be a cold miss, counted under the same corruption counter as a
+	// bit-rotted entry because the operational meaning is identical.
+	// Extra entries beyond the declared count are also suspect (the
+	// header and body disagree about what this file is) but cost nothing,
+	// so they are loaded and not counted.
+	if short := hdr.Entries - processed; short > 0 {
+		obs.Add("serve.persist.corrupt", int64(short))
 	}
 	obs.Add("serve.persist.loaded", int64(loaded))
 	return loaded, nil

@@ -169,6 +169,72 @@ func TestPersistCorruptEntrySkipped(t *testing.T) {
 	}
 }
 
+// TestPersistTruncatedSnapshotCountsShortfall: a snapshot cut off on a
+// clean line boundary decodes without a single entry-level error, so
+// only the header's declared count can reveal that the warm start is
+// short — each missing entry is counted under serve.persist.corrupt
+// (it costs a cold miss, operationally identical to a rotted entry).
+func TestPersistTruncatedSnapshotCountsShortfall(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	s1 := New(Config{})
+	h1 := s1.Handler()
+	for _, body := range []string{
+		`{"topo":` + smallTopo + `}`,
+		`{"topo":{"name":"jellyfish","n":16,"radix":8,"net":4,"rate":100,"seed":8}}`,
+		`{"topo":{"name":"jellyfish","n":16,"radix":8,"net":4,"rate":100,"seed":9}}`,
+	} {
+		if rr := do(h1, nil, "POST", "/v1/stats", body); rr.Code != http.StatusOK {
+			t.Fatalf("seed = %d", rr.Code)
+		}
+	}
+	if _, err := s1.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != 4 { // header + 3 entries
+		t.Fatalf("snapshot has %d lines, want 4", len(lines))
+	}
+	// Drop the last two entries whole: every surviving line is pristine.
+	if err := os.WriteFile(path, []byte(strings.Join(lines[:2], "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(Config{})
+	before := obs.TakeSnapshot()
+	loaded, err := s2.LoadCache(path)
+	after := obs.TakeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 1 {
+		t.Fatalf("loaded %d entries from a truncated snapshot, want 1", loaded)
+	}
+	if d := counterDelta(before, after, "serve.persist.corrupt"); d != 2 {
+		t.Fatalf("serve.persist.corrupt delta = %d, want 2 (the declared-but-missing entries)", d)
+	}
+	if d := counterDelta(before, after, "serve.persist.loaded"); d != 1 {
+		t.Fatalf("serve.persist.loaded delta = %d, want 1", d)
+	}
+}
+
+// TestPersistNegativeEntryHeaderRejected: a header declaring a negative
+// entry count is nonsense and refused outright, like a foreign format.
+func TestPersistNegativeEntryHeaderRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.snap")
+	if err := os.WriteFile(path,
+		[]byte(`{"format":"physdepd-cache","version":1,"entries":-3}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	if _, err := s.LoadCache(path); err == nil {
+		t.Fatal("LoadCache accepted a negative entry count")
+	}
+}
+
 // TestPersistRejectsForeignFile: a file that is not a physdepd cache
 // snapshot (or is a future version) is refused outright rather than
 // half-loaded.

@@ -52,6 +52,10 @@ type Config struct {
 	// StoreEntries bounds the shared topology store (default 32 loaded
 	// fabrics, each holding one frozen snapshot).
 	StoreEntries int
+	// DocEntries bounds the resident interchange-document cache (default
+	// 32 uploaded documents, addressed by content digest; see
+	// documents.go). An evicted document 422s until re-uploaded.
+	DocEntries int
 	// RequestTimeout caps every request's deadline server-side (default
 	// 0: only client-supplied timeout_ms applies). Whichever deadline is
 	// earlier wins.
@@ -68,6 +72,9 @@ func (c Config) withDefaults() Config {
 	if c.StoreEntries <= 0 {
 		c.StoreEntries = 32
 	}
+	if c.DocEntries <= 0 {
+		c.DocEntries = 32
+	}
 	return c
 }
 
@@ -80,6 +87,7 @@ type Server struct {
 	cache   *resultCache
 	flights *flightTable
 	store   *topoStore
+	docs    *lruCache[[]byte] // uploaded interchange documents by content digest
 	mux     *http.ServeMux
 	start   time.Time
 }
@@ -97,13 +105,18 @@ func New(cfg Config) *Server {
 		cache:   newResultCache(cfg.CacheEntries),
 		flights: newFlightTable(),
 		store:   newTopoStore(cfg.StoreEntries),
+		docs:    newLRU[[]byte](cfg.DocEntries),
 		start:   time.Now(),
 	}
+	// The store's builder must see the document cache so "file" specs can
+	// resolve digests; everything else falls through to cli.BuildTopology.
+	s.store.build = s.buildTopo
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/whatif", s.handleWhatIf)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/documents", s.handleDocument)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/obs", s.handleDebugObs)

@@ -110,6 +110,10 @@ func TestDaemonCoalescedMisses(t *testing.T) {
 		"graph.freeze.builds":   1,
 		"serve.cache.store":     1,
 		"serve.cache.coalesced": n - 1,
+		// One logical request, one miss: the leader and each follower
+		// count exactly once, however the flight resolves.
+		"serve.cache.miss": n,
+		"serve.cache.hit":  0,
 	} {
 		if d := counterDelta(before, after, counter); d != want {
 			t.Fatalf("%s delta = %d, want %d", counter, d, want)
@@ -160,6 +164,9 @@ func TestFollowerDeadlineLeavesLeaderRunning(t *testing.T) {
 	}
 	if d := counterDelta(before, after, "serve.cache.coalesced"); d != 0 {
 		t.Fatalf("an expired follower counted as coalesced (delta %d)", d)
+	}
+	if d := counterDelta(before, after, "serve.cache.miss"); d != 1 {
+		t.Fatalf("serve.cache.miss delta = %d, want 1 (one logical follower request)", d)
 	}
 
 	close(release)
@@ -221,6 +228,13 @@ func TestFailedLeaderReleasesFollowers(t *testing.T) {
 	after := obs.TakeSnapshot()
 	if d := counterDelta(before, after, "serve.cache.coalesced"); d != 0 {
 		t.Fatalf("a retried follower counted as coalesced (delta %d)", d)
+	}
+	// The follower's one miss was counted when it first arrived (before
+	// the `before` snapshot); its post-release retry — re-checking the
+	// cache and leading a fresh flight — must not count again. This delta
+	// used to be 1: the retry loop re-ran the counted cache lookup.
+	if d := counterDelta(before, after, "serve.cache.miss"); d != 0 {
+		t.Fatalf("serve.cache.miss delta = %d, want 0 (retry re-counted the same logical request)", d)
 	}
 	if got := calls.Load(); got != 2 {
 		t.Fatalf("build calls = %d, want 2 (one failure, one fresh success)", got)

@@ -39,6 +39,18 @@ func (r Role) String() string {
 	return fmt.Sprintf("role(%d)", int(r))
 }
 
+// RoleFromString parses the string form produced by Role.String. It is
+// the inverse used by the interchange loader; ok is false for any string
+// that is not exactly one of the role names.
+func RoleFromString(s string) (Role, bool) {
+	for i, name := range roleNames {
+		if s == name {
+			return Role(i), true
+		}
+	}
+	return 0, false
+}
+
 // Node is one switch.
 type Node struct {
 	ID          int

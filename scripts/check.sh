@@ -128,6 +128,33 @@ kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 grep -q 'shutdown complete' "$tmp/daemon-warm.log"
 
+echo "== interchange smoke (emit → load → evaluate, diffed against the flag-built run)"
+# The round-trip contract through the CLIs: topogen emits a jellyfish
+# document, then both topogen's profile and physdep's full evaluation of
+# the document must be byte-identical to the flag-built runs — and the
+# daemon must accept the same document via /v1/documents and serve it
+# with response bytes equal to the generator-spec request.
+go run ./cmd/topogen -topo jellyfish -n 16 -radix 8 -net 4 -rate 100 -seed 7 \
+  -emit "$tmp/fabric.json" >"$tmp/topogen-flags.out"
+grep -v '^emitted: ' "$tmp/topogen-flags.out" >"$tmp/topogen-flags.profile"
+go run ./cmd/topogen -topo-file "$tmp/fabric.json" >"$tmp/topogen-file.out"
+diff "$tmp/topogen-flags.profile" "$tmp/topogen-file.out"
+go run ./cmd/physdep -topo jellyfish -n 16 -radix 8 -net 4 -rate 100 -seed 7 >"$tmp/physdep-flags.out"
+go run ./cmd/physdep -topo-file "$tmp/fabric.json" >"$tmp/physdep-file.out"
+diff "$tmp/physdep-flags.out" "$tmp/physdep-file.out"
+start_daemon "$tmp/daemon-doc.log"
+doc_ref="$(curl -fsS -X POST --data-binary @"$tmp/fabric.json" "http://$addr/v1/documents" \
+  | sed 's/.*"document":"\([^"]*\)".*/\1/')"
+case "$doc_ref" in sha256:*) ;; *)
+  echo "interchange smoke: upload returned no digest: $doc_ref" >&2; exit 1 ;;
+esac
+curl -fsS -X POST -d "$stats_req" "http://$addr/v1/stats" >"$tmp/doc-spec-body"
+curl -fsS -X POST -d "{\"topo\":{\"name\":\"file\",\"file\":\"$doc_ref\"}}" \
+  "http://$addr/v1/stats" >"$tmp/doc-file-body"
+cmp "$tmp/doc-spec-body" "$tmp/doc-file-body"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+
 echo "== lifecycle smoke (planner golden replay)"
 # The multi-step expansion planner end to end through the CLI: the E23
 # growth schedule (Jellyfish vs Xpander vs panel-Clos) must reproduce
@@ -159,6 +186,7 @@ if [ "$FUZZTIME" != "0" ]; then
     "FuzzPlanCables         ./internal/cabling"
     "FuzzKSPConfig          ./internal/trafficsim"
     "FuzzTwinRules          ./internal/twin"
+    "FuzzInterchangeLoad    ./internal/interchange"
     "FuzzBenchWorkersFlag   ./cmd/experiments"
   )
   for entry in "${fuzz_targets[@]}"; do
